@@ -1,0 +1,30 @@
+"""E9 — Sec. 5.2.3 + design ablations from DESIGN.md §6.
+
+* Ownership vs commutativity: which analysis carries which workload.
+* Relaxed vs strict nonces (Sec. 4.2.1).
+"""
+
+from repro.eval.ablation import format_ablation, run_ablation
+
+
+def test_ablation_strategies(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation(epochs=4, txns_per_epoch=300, n_shards=4),
+        rounds=1, iterations=1)
+    save_result("ablation_strategies", format_ablation(result))
+
+    # Fungible transfers need the commutativity strategy: with
+    # IntMerge disabled, both balance entries must be owned and the
+    # workload collapses toward the baseline.
+    assert result.tps("FT transfer", "full CoSplit") > \
+        result.tps("FT transfer", "ownership only") * 1.3
+
+    # Non-fungible record updates are carried by disjoint ownership
+    # alone: removing IntMerge costs them almost nothing.
+    assert result.tps("UD config", "ownership only") > \
+        result.tps("UD config", "full CoSplit") * 0.8
+
+    # The relaxed nonce rule is what lets a single sender's
+    # transactions execute in different shards.
+    assert result.tps("NFT mint", "relaxed nonces") > \
+        result.tps("NFT mint", "strict nonces") * 2

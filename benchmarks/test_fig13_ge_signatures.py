@@ -1,0 +1,34 @@
+"""E3/E4/E5 — Sec. 5.1.2 histogram and Fig. 13a/13b.
+
+Regenerates the transition-count histogram, the size of the largest
+good-enough signature per contract (13a), and the number of maximal GE
+signatures (13b) for the whole corpus, benchmarking the exhaustive
+Σ (n choose k) solver enumeration the paper describes.
+"""
+
+from repro.eval.ge_stats import format_fig13, run_fig13
+
+
+def test_fig13_ge_signatures(benchmark, save_result):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    save_result("fig13_ge_signatures", format_fig13(result))
+
+    hist = result.transition_histogram()
+    # Corpus scale mirrors the paper: ~50 contracts, 1..11+ transitions.
+    assert sum(hist.values()) >= 49
+    assert min(hist) == 1
+    assert max(hist) >= 10
+
+    # Fig. 13a: largest GE size never exceeds the transition count and
+    # larger contracts expose multi-transition parallelism.
+    points = dict()
+    for n_trans, largest in result.largest_ge_points():
+        assert 0 <= largest <= n_trans
+        points.setdefault(n_trans, []).append(largest)
+    assert max(max(v) for v in points.values()) >= 6
+
+    # Fig. 13b: some contracts have several maximal signatures (the
+    # developer has real choices), others none at all.
+    maximal_counts = [m for _, m in result.maximal_ge_points()]
+    assert max(maximal_counts) >= 2
+    assert min(maximal_counts) == 0  # e.g. HTLC: nothing shardable

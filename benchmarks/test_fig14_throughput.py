@@ -1,0 +1,58 @@
+"""E7 — Fig. 14: average TPS per workload vs number of shards.
+
+The headline experiment: each of the five evaluation contracts is
+deployed with no sharding information (baseline) and with a reasonable
+CoSplit signature, then subjected to sustained workloads over several
+epochs in a saturated network.  The assertions check the paper's
+qualitative shape:
+
+* FT transfer, CF donate, NFT mint, NFT transfer, UD bestow and UD
+  config gain throughput roughly linearly with shard count;
+* FT fund (single owner) and ProofIPFS register (cross-shard
+  footprint) do not scale, but do not regress either.
+"""
+
+import pytest
+
+from repro.eval.throughput import (
+    DEFAULT_CONFIGS, format_fig14, run_fig14,
+)
+
+SCALING = ["FT transfer", "CF donate", "NFT mint", "NFT transfer",
+           "UD bestow", "UD config"]
+FLAT = ["FT fund", "ProofIPFS register"]
+
+
+@pytest.fixture(scope="module")
+def fig14_result():
+    # 6 epochs × 500 offered transactions, the paper's 4 configurations.
+    return run_fig14(epochs=6, txns_per_epoch=500)
+
+
+def test_fig14_throughput(benchmark, save_result, fig14_result):
+    result = benchmark.pedantic(lambda: fig14_result, rounds=1,
+                                iterations=1)
+    save_result("fig14_throughput", format_fig14(result))
+
+    labels = [c.label for c in DEFAULT_CONFIGS]
+    for workload in SCALING:
+        series = [result.tps(workload, label) for label in labels]
+        baseline, cs3, cs4, cs5 = series
+        assert cs3 > baseline * 1.2, (workload, series)
+        assert cs5 > cs3 * 1.1, (workload, series)
+        assert cs5 >= cs4 * 0.95, (workload, series)
+    for workload in FLAT:
+        series = [result.tps(workload, label) for label in labels]
+        baseline, _, _, cs5 = series
+        # No scaling...
+        assert cs5 < baseline * 1.35, (workload, series)
+        # ...but no collapse either ("performance does not degrade").
+        assert cs5 > baseline * 0.5, (workload, series)
+
+    # Where the work actually runs: shardable workloads leave the DS
+    # committee nearly idle under CoSplit; ProofIPFS stays DS-bound.
+    by_key = {(c.workload, c.config): c for c in result.cells}
+    cs5 = "CoSplit 5 shards"
+    assert by_key[("FT transfer", cs5)].ds_fraction < 0.1
+    assert by_key[("UD bestow", cs5)].ds_fraction < 0.1
+    assert by_key[("ProofIPFS register", cs5)].ds_fraction > 0.5

@@ -1,0 +1,53 @@
+"""Automated contract repair (Sec. 6's future-work feature).
+
+The NFT contract's Approve transition authorises via an owner read
+from the contract state and uses it as a map key — the pattern CoSplit
+cannot summarise.  This example diagnoses the contract, applies the
+compare-and-swap repair, and shows the before/after sharding result.
+
+Run with:  python examples/contract_repair.py
+"""
+
+from repro.contracts import CORPUS
+from repro.core.repair import diagnose, repair_transition
+from repro.core.signature import derive_signature
+from repro.core.summary import analyze_module
+from repro.core.solver import ShardingSolver
+from repro.scilla.parser import parse_module
+from repro.scilla.pretty import pp_component
+
+
+def main() -> None:
+    module = parse_module(CORPUS["NonfungibleToken"], "NFT")
+
+    print("=== Diagnosis ===")
+    for d in diagnose(module):
+        status = "shardable" if d.shardable else "NOT shardable"
+        print(f"  {d.transition}: {status}")
+        for reason in d.reasons:
+            print(f"      {reason}")
+        for binder in d.repairable_binders:
+            print(f"      repairable state-derived key: {binder}")
+
+    before = ShardingSolver("NFT", analyze_module(module)).report()
+    print(f"\nlargest good-enough signature before repair: "
+          f"{before.largest_ge_size}")
+
+    repaired, changes = repair_transition(module, "Approve")
+    print("\n=== Applied repair ===")
+    for change in changes:
+        print(f"  {change}")
+
+    print("\n=== Rewritten transition ===")
+    print(pp_component(repaired.contract.component("Approve")))
+
+    after = ShardingSolver("NFT", analyze_module(repaired)).report()
+    print(f"\nlargest good-enough signature after repair: "
+          f"{after.largest_ge_size}")
+    sig = derive_signature("NFT", analyze_module(repaired), ("Approve",))
+    print("\nApprove's constraints are now satisfiable:")
+    print(sig.describe())
+
+
+if __name__ == "__main__":
+    main()

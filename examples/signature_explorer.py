@@ -1,0 +1,58 @@
+"""Signature explorer: the contract developer's offline workflow.
+
+Fig. 11 of the paper: before deploying, the developer queries the
+sharding solver with candidate transition selections and weak-read
+choices, and inspects the resulting constraints and join operations.
+This example explores the FungibleToken contract from the corpus:
+every maximal good-enough signature, what each transition's ownership
+constraints look like, and what happens when weak reads are refused.
+
+Run with:  python examples/signature_explorer.py  [contract-name]
+"""
+
+import sys
+
+from repro.contracts import CORPUS
+from repro.core import run_pipeline
+from repro.core.signature import StaleReadsRejected, derive_signature
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "FungibleToken"
+    result = run_pipeline(CORPUS[name], name)
+    solver = result.solver()
+    report = solver.report()
+
+    print(f"=== {name}: {report.n_transitions} transitions ===\n")
+    print("Shardable on their own (satisfiable singleton signature):")
+    for t in solver.shardable_transitions():
+        print(f"  • {t}")
+    not_shardable = set(result.summaries) - set(solver.shardable_transitions())
+    for t in sorted(not_shardable):
+        print(f"  ✗ {t} (⊥ — always routed to the DS committee)")
+
+    print(f"\nLargest good-enough signature: {report.largest_ge_size} "
+          f"transitions\nMaximal GE signatures: {report.n_maximal}")
+    for selection in report.maximal_ge:
+        print(f"\n--- maximal selection {selection} ---")
+        sig = solver.signature(selection)
+        print(sig.describe())
+
+    # What does refusing weak reads cost?  (Sec. 4.2.3)
+    print("\n=== Weak reads refused (stale-read gate of Alg. 3.1) ===")
+    selection = report.largest_ge
+    try:
+        derive_signature(name, result.summaries, selection,
+                         weak_reads=set())
+        print("this selection needs no weak reads")
+    except StaleReadsRejected as exc:
+        print(f"rejected: needs stale reads of {sorted(exc.needed)}")
+        fallback = derive_signature(name, result.summaries, selection,
+                                    weak_reads=set(),
+                                    allow_commutativity=False)
+        print("ownership-only fallback signature (Strategy 1):")
+        print(fallback.describe())
+
+
+if __name__ == "__main__":
+    main()

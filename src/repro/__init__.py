@@ -1,0 +1,14 @@
+"""Reproduction of "Practical Smart Contract Sharding with Ownership
+and Commutativity Analysis" (Pîrlea, Kumar, Sergey — PLDI 2021).
+
+Subpackages:
+
+* :mod:`repro.scilla`    — the Scilla language frontend and interpreter;
+* :mod:`repro.core`      — the CoSplit analysis and signature derivation;
+* :mod:`repro.chain`     — the sharded blockchain simulator;
+* :mod:`repro.contracts` — the 52-contract Scilla corpus;
+* :mod:`repro.workloads` — workload generators and the Ethereum trace;
+* :mod:`repro.eval`      — regenerators for every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Sharded blockchain substrate: the paper's execution environment.
+
+Implements the Zilliqa-style architecture of Sec. 4 — lookup-node
+dispatch, shards, DS committee, MicroBlocks/StateDeltas/FinalBlocks —
+as a deterministic simulator that really executes every transaction
+through the Scilla interpreter.
+"""
+
+from .blocks import FinalBlock, MicroBlock, Receipt
+from .consensus import CostModel, DEFAULT_COST_MODEL
+from .delta import DeltaEntry, StateDelta, compute_delta, merge_deltas
+from .dispatch import (
+    DS, DeployedSignature, DispatchDecision, Dispatcher, key_token,
+    shard_hash,
+)
+from .lookup import LookupNode, TxPacket, packets_to_epoch
+from .network import DeployedContract, EpochStats, Network
+from .transaction import (
+    Account, NonceTracker, Transaction, call, payment,
+)
+
+__all__ = [
+    "FinalBlock", "MicroBlock", "Receipt",
+    "CostModel", "DEFAULT_COST_MODEL",
+    "DeltaEntry", "StateDelta", "compute_delta", "merge_deltas",
+    "DS", "DeployedSignature", "DispatchDecision", "Dispatcher",
+    "key_token", "shard_hash",
+    "LookupNode", "TxPacket", "packets_to_epoch",
+    "DeployedContract", "EpochStats", "Network",
+    "Account", "NonceTracker", "Transaction", "call", "payment",
+]

@@ -1,0 +1,135 @@
+"""State deltas and the DS committee's three-way merge (Sec. 4.3).
+
+Each shard accumulates, per contract, the changes its transactions
+made relative to the epoch-start state.  For ``IntMerge`` fields the
+delta is the *signed integer difference*; for ``OwnOverwrite`` fields
+it is the final value (or a deletion marker).  The DS committee merges
+all shard deltas into the epoch-start state; because ownership
+constraints made the deltas logically disjoint, the merge is a total,
+deterministic, commutative and associative operation — the partial
+commutative monoid of Sec. 2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from ..core.joins import (
+    JoinKind, MergeConflict, apply_int_delta, int_delta,
+)
+from ..scilla.state import ContractState, MISSING, StateKey, _Missing
+from ..scilla.values import IntVal, MapVal, Value
+
+
+@dataclass(frozen=True)
+class DeltaEntry:
+    """One changed state location in a shard's delta."""
+
+    key: StateKey
+    kind: JoinKind
+    # OwnOverwrite payload: the new value (MISSING = deleted).
+    new_value: Value | _Missing = MISSING
+    # IntMerge payload: the signed difference from the epoch-start value,
+    # plus a template value carrying the integer type.
+    int_diff: int = 0
+    template: Value | None = None
+
+
+@dataclass
+class StateDelta:
+    """All changes one shard made to one contract during an epoch."""
+
+    contract: str
+    shard: int
+    entries: list[DeltaEntry] = dc_field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def compute_delta(contract: str, shard: int, base: ContractState,
+                  final: ContractState, touched: set[StateKey],
+                  joins: dict[str, JoinKind]) -> StateDelta:
+    """Diff the shard-local final state against the epoch-start state.
+
+    Only ``touched`` locations (union of successful transactions'
+    write sets) are inspected, so the cost is proportional to activity
+    rather than state size — matching the paper's per-changed-field
+    merge cost accounting.
+    """
+    delta = StateDelta(contract, shard)
+    for key in sorted(touched, key=_key_sort):
+        kind = joins.get(key[0], JoinKind.OWN_OVERWRITE)
+        new = final.read(key)
+        old = base.read(key)
+        if kind is JoinKind.INT_MERGE:
+            if not isinstance(new, (IntVal, _Missing)) or \
+                    not isinstance(old, (IntVal, _Missing)):
+                raise MergeConflict(
+                    f"IntMerge declared for non-integer location {key}")
+            diff = int_delta(old, new)
+            if diff == 0:
+                continue
+            template = new if isinstance(new, IntVal) else old
+            assert isinstance(template, IntVal)
+            delta.entries.append(DeltaEntry(key, kind, int_diff=diff,
+                                            template=template))
+        else:
+            if _values_same(old, new):
+                continue
+            delta.entries.append(DeltaEntry(key, kind, new_value=new))
+    return delta
+
+
+def merge_deltas(base: ContractState,
+                 deltas: list[StateDelta]) -> tuple[ContractState, int]:
+    """Three-way merge: epoch-start state ⊎ all shard deltas.
+
+    Returns the merged state and the number of changed locations (the
+    unit in which Sec. 5.2.2 reports merge cost).  Raises
+    :class:`MergeConflict` if two shards overwrote the same location —
+    impossible under a valid signature, by construction.
+    """
+    merged = base.copy()
+    overwritten: dict[StateKey, int] = {}
+    int_accum: dict[StateKey, tuple[int, Value]] = {}
+    changed = 0
+    for delta in deltas:
+        for entry in delta.entries:
+            changed += 1
+            if entry.kind is JoinKind.INT_MERGE:
+                diff, template = int_accum.get(entry.key, (0, entry.template))
+                assert entry.template is not None
+                int_accum[entry.key] = (diff + entry.int_diff, entry.template)
+                if entry.key in overwritten:
+                    raise MergeConflict(
+                        f"shard {delta.shard} merges into {entry.key} "
+                        f"overwritten by shard {overwritten[entry.key]}")
+            else:
+                prev = overwritten.get(entry.key)
+                if prev is not None and prev != delta.shard:
+                    raise MergeConflict(
+                        f"shards {prev} and {delta.shard} both overwrote "
+                        f"{entry.key}")
+                if entry.key in int_accum:
+                    raise MergeConflict(
+                        f"shard {delta.shard} overwrites {entry.key} "
+                        f"also merged into by another shard")
+                overwritten[entry.key] = delta.shard
+                merged.write(entry.key, entry.new_value)
+    for key, (diff, template) in int_accum.items():
+        merged.write(key, apply_int_delta(base.read(key), diff, template))
+    return merged, changed
+
+
+def _key_sort(key: StateKey):
+    name, keys = key
+    return (name, tuple(str(k) for k in keys))
+
+
+def _values_same(a: Value | _Missing, b: Value | _Missing) -> bool:
+    if isinstance(a, _Missing) or isinstance(b, _Missing):
+        return isinstance(a, _Missing) and isinstance(b, _Missing)
+    if isinstance(a, MapVal) and isinstance(b, MapVal):
+        return a.entries == b.entries
+    return a == b

@@ -1,0 +1,240 @@
+"""Lookup-node transaction dispatch (Sec. 4.3).
+
+``dispatch_oc(T, x)``: given a contract's sharding signature and a
+concrete transaction, resolve the symbolic constraints against the
+transaction's arguments and identify a shard that satisfies all of
+them; route to the DS committee when no single shard does (or when a
+runtime side-condition such as ``NoAliases`` fails).
+
+State components are assigned to shards by hashing: entry-level for
+fields only ever owned per-entry, field-level as soon as some selected
+transition requires whole-field ownership (so a whole-field owner and
+an entry writer can never land in different shards).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field as dc_field
+
+from ..core.constraints import (
+    Bot, ContractShard, NoAliases, Owns, SenderShard, UserAddr,
+)
+from ..core.domain import ConstKey, Key, ParamKey, PseudoField
+from ..core.signature import ShardingSignature
+from ..scilla.values import (
+    ADTVal, BNumVal, ByStrVal, IntVal, StringVal, Value,
+)
+from .transaction import Transaction
+
+DS = -1  # the DS committee "shard" id
+
+
+def key_token(value: Value) -> str:
+    """A stable string identity for a runtime value used as a map key.
+
+    Must agree with the constant-key format produced by the analysis
+    (``repro.core.summary._const_repr``).
+    """
+    if isinstance(value, IntVal):
+        return f"{value.typ}|{value.value}"
+    if isinstance(value, StringVal):
+        return f"String|{value.value}"
+    if isinstance(value, ByStrVal):
+        return f"{value.typ}|{value.hex}"
+    if isinstance(value, BNumVal):
+        return f"BNum|{value.value}"
+    if isinstance(value, ADTVal):
+        inner = ",".join(key_token(a) for a in value.args)
+        return f"{value.adt}.{value.constructor}({inner})"
+    raise ValueError(f"value not usable as a map key: {value!r}")
+
+
+def shard_hash(token: str, n_shards: int) -> int:
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+@dataclass
+class DispatchDecision:
+    shard: int
+    reason: str = ""
+
+    @property
+    def is_ds(self) -> bool:
+        return self.shard == DS
+
+
+@dataclass
+class DeployedSignature:
+    """What the lookup node knows about a deployed contract."""
+
+    address: str
+    signature: ShardingSignature | None
+    immutables: dict[str, Value] = dc_field(default_factory=dict)
+
+    def field_level(self) -> set[str]:
+        """Fields that must be assigned to shards whole (some selected
+        transition requires full ownership)."""
+        if self.signature is None:
+            return set()
+        out: set[str] = set()
+        for cs in self.signature.constraints.values():
+            for c in cs:
+                if isinstance(c, Owns) and c.pf.is_whole_field:
+                    out.add(c.pf.field)
+        return out
+
+
+class Dispatcher:
+    """Routes transactions to shards; CoSplit-aware when signatures
+    are registered, falling back to the default strategy otherwise."""
+
+    def __init__(self, n_shards: int, use_signatures: bool = True):
+        self.n_shards = n_shards
+        self.use_signatures = use_signatures
+        self.contracts: dict[str, DeployedSignature] = {}
+        self._field_level_cache: dict[str, set[str]] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register_contract(self, deployed: DeployedSignature) -> None:
+        self.contracts[deployed.address] = deployed
+        self._field_level_cache[deployed.address] = deployed.field_level()
+
+    def is_contract(self, address: str) -> bool:
+        return address in self.contracts
+
+    # -- shard assignment primitives --------------------------------------------
+
+    def home_shard(self, address: str) -> int:
+        return shard_hash(f"addr:{_pad(address)}", self.n_shards)
+
+    def component_shard(self, contract: str, pf: PseudoField,
+                        key_values: tuple[str, ...]) -> int:
+        """Shard owning a state component.
+
+        Entry-level components are assigned by their *first* key value,
+        so components keyed by the same account co-locate (Fig. 3 puts
+        ``bal[A]`` and ``allowances[A][D]`` in one shard, which is what
+        lets TransferFrom satisfy both constraints in a single shard).
+        Fields requiring whole-field ownership are assigned as a unit.
+        """
+        if not key_values or pf.field in self._field_level_cache.get(
+                contract, set()):
+            token = f"{contract}:{pf.field}"
+        else:
+            first = key_values[0]
+            if first.startswith("ByStr20|"):
+                # Components keyed by an account address live in that
+                # account's home shard, so Owns(bal[_sender]) and
+                # SenderShard (fund acceptance) agree — the paper's
+                # "the shard that owns A's account" model.
+                token = f"addr:{first.removeprefix('ByStr20|')}"
+            else:
+                token = f"{contract}:{first}"
+        return shard_hash(token, self.n_shards)
+
+    # -- constraint resolution ------------------------------------------------------
+
+    def _resolve_key(self, key: Key, tx: Transaction,
+                     deployed: DeployedSignature) -> str | None:
+        if isinstance(key, ParamKey):
+            if key.name in ("_sender", "_origin"):
+                return f"ByStr20|{_pad(tx.sender)}"
+            value = tx.args_dict().get(key.name)
+            return key_token(value) if value is not None else None
+        assert isinstance(key, ConstKey)
+        if key.repr.startswith("cparam:"):
+            value = deployed.immutables.get(key.repr.removeprefix("cparam:"))
+            return key_token(value) if value is not None else None
+        if key.repr == "_this_address":
+            return f"ByStr20|{_pad(deployed.address)}"
+        return key.repr  # literal in key_token format already
+
+    def _resolve_symbol(self, symbol: str, tx: Transaction,
+                        deployed: DeployedSignature) -> str | None:
+        """Resolve a NoAliases/UserAddr symbol (textual key form)."""
+        if symbol in ("_sender", "_origin"):
+            return f"ByStr20|{_pad(tx.sender)}"
+        value = tx.args_dict().get(symbol)
+        if value is not None:
+            return key_token(value)
+        return self._resolve_key(ConstKey(symbol), tx, deployed)
+
+    def _address_of_symbol(self, symbol: str, tx: Transaction,
+                           deployed: DeployedSignature) -> str | None:
+        token = self._resolve_symbol(symbol, tx, deployed)
+        if token is None:
+            return None
+        if "|" in token:
+            kind, _, payload = token.partition("|")
+            if kind.startswith("ByStr"):
+                return payload
+        return None
+
+    # -- main entry point ------------------------------------------------------------
+
+    def dispatch(self, tx: Transaction) -> DispatchDecision:
+        if not tx.is_contract_call:
+            # User-to-user payment: sender's home shard (double-spend
+            # detection stays local, Sec. 4.1).
+            return DispatchDecision(self.home_shard(tx.sender), "payment")
+        deployed = self.contracts.get(_pad(tx.to))
+        if deployed is None:
+            return DispatchDecision(DS, "unknown contract")
+        if not self.use_signatures or deployed.signature is None:
+            return self._default_strategy(tx, deployed)
+        sig = deployed.signature
+        if tx.transition not in sig.selected:
+            return DispatchDecision(DS, "transition not sharded")
+        constraints = sig.constraints[tx.transition]
+
+        required: set[int] = set()
+        for c in sorted(constraints, key=str):
+            if isinstance(c, Bot):
+                return DispatchDecision(DS, f"⊥: {c.reason}")
+            if isinstance(c, SenderShard):
+                required.add(self.home_shard(tx.sender))
+            elif isinstance(c, ContractShard):
+                required.add(self.home_shard(tx.to))
+            elif isinstance(c, Owns):
+                tokens = []
+                for key in c.pf.keys:
+                    token = self._resolve_key(key, tx, deployed)
+                    if token is None:
+                        return DispatchDecision(DS, f"unresolvable {c}")
+                    tokens.append(token)
+                required.add(
+                    self.component_shard(tx.to, c.pf, tuple(tokens)))
+            elif isinstance(c, NoAliases):
+                a = self._resolve_symbol(c.x, tx, deployed)
+                b = self._resolve_symbol(c.y, tx, deployed)
+                if a is None or b is None or a == b:
+                    return DispatchDecision(DS, f"aliasing keys {c}")
+            elif isinstance(c, UserAddr):
+                address = self._address_of_symbol(c.param, tx, deployed)
+                if address is None or self.is_contract(address):
+                    return DispatchDecision(DS, f"non-user recipient {c}")
+        if len(required) > 1:
+            return DispatchDecision(DS, "conflicting ownership")
+        if required:
+            return DispatchDecision(required.pop(), "constraints satisfied")
+        # No placement constraints at all: any shard works.
+        return DispatchDecision(tx.tx_id % self.n_shards, "unconstrained")
+
+    def _default_strategy(self, tx: Transaction,
+                          deployed: DeployedSignature) -> DispatchDecision:
+        """Plain Zilliqa (Sec. 4.1): contract transactions run in the
+        contract's shard only when the sender lives there; otherwise in
+        the DS committee."""
+        sender_home = self.home_shard(tx.sender)
+        contract_home = self.home_shard(tx.to)
+        if sender_home == contract_home:
+            return DispatchDecision(contract_home, "co-located")
+        return DispatchDecision(DS, "cross-shard contract call")
+
+
+def _pad(address: str) -> str:
+    body = address[2:] if address.startswith("0x") else address
+    return "0x" + body.rjust(40, "0").lower()

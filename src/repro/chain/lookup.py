@@ -1,0 +1,87 @@
+"""Lookup nodes (Fig. 10): the entry point of the network.
+
+Users submit transactions to lookup nodes, which group them into
+*packets* and dispatch each packet to one of the shards or the DS
+committee.  This module implements that buffering layer on top of
+:class:`~repro.chain.dispatch.Dispatcher`; the
+:class:`~repro.chain.network.Network` can consume the packets of an
+epoch directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from .dispatch import DS, DispatchDecision, Dispatcher
+from .transaction import Transaction
+
+
+@dataclass
+class TxPacket:
+    """A batch of transactions destined for one processing lane."""
+
+    destination: int               # shard id, or DS (-1)
+    txns: list[Transaction] = dc_field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.txns)
+
+    @property
+    def is_ds(self) -> bool:
+        return self.destination == DS
+
+
+class LookupNode:
+    """Buffers submitted transactions and packs them per destination.
+
+    ``max_packet_size`` mirrors the real network's packet cap: large
+    queues are split into multiple packets for the same lane (shards
+    process them in arrival order, so per-sender ordering within a
+    lane is preserved).
+    """
+
+    def __init__(self, dispatcher: Dispatcher,
+                 max_packet_size: int = 1_000):
+        self.dispatcher = dispatcher
+        self.max_packet_size = max_packet_size
+        self._buffer: list[tuple[Transaction, DispatchDecision]] = []
+        self.submitted = 0
+
+    def submit(self, tx: Transaction) -> DispatchDecision:
+        """Accept one transaction; routing happens immediately."""
+        decision = self.dispatcher.dispatch(tx)
+        self._buffer.append((tx, decision))
+        self.submitted += 1
+        return decision
+
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def build_packets(self) -> list[TxPacket]:
+        """Drain the buffer into per-destination packets.
+
+        Within a destination the submission order is preserved, so the
+        relaxed nonce rule (increasing order per lane) is satisfiable
+        whenever users submit in increasing nonce order.
+        """
+        by_destination: dict[int, list[Transaction]] = {}
+        for tx, decision in self._buffer:
+            by_destination.setdefault(decision.shard, []).append(tx)
+        self._buffer.clear()
+        packets: list[TxPacket] = []
+        for destination in sorted(by_destination):
+            queue = by_destination[destination]
+            for start in range(0, len(queue), self.max_packet_size):
+                packets.append(TxPacket(
+                    destination,
+                    queue[start:start + self.max_packet_size]))
+        return packets
+
+
+def packets_to_epoch(packets: list[TxPacket]) -> list[Transaction]:
+    """Flatten packets back into an epoch's transaction list, keeping
+    per-lane order (used to feed :meth:`Network.process_epoch`)."""
+    out: list[Transaction] = []
+    for packet in packets:
+        out.extend(packet.txns)
+    return out

@@ -1,0 +1,462 @@
+"""The sharded network simulator (Fig. 10).
+
+A :class:`Network` holds lookup-node dispatch, N shards, and the DS
+committee.  Every transaction is *really executed* through the Scilla
+interpreter; the simulator contributes the things the paper's EC2
+testbed provided physically: parallel shard lanes, per-epoch gas
+limits, the FSD merge, and a wall-clock cost model.
+
+Epoch processing follows the protocol: shards execute their assigned
+transactions sequentially against the epoch-start state; each produces
+a MicroBlock plus StateDeltas; the DS committee three-way-merges the
+deltas, then executes the potentially-conflicting transactions routed
+to it; the FinalBlock's state becomes the next epoch's start state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from ..core.joins import JoinKind
+from ..core.pipeline import run_pipeline
+from ..core.signature import ShardingSignature
+from ..scilla.ast import Module
+from ..scilla.interpreter import Interpreter, TxContext
+from ..scilla.state import ContractState, StateKey
+from ..scilla.values import Value
+from ..scilla import types as ty
+from .blocks import FinalBlock, MicroBlock, Receipt
+from .consensus import DEFAULT_COST_MODEL, CostModel
+from .delta import StateDelta, compute_delta, merge_deltas
+from .dispatch import DS, DeployedSignature, Dispatcher, _pad
+from .transaction import Account, NonceTracker, Transaction
+
+PAYMENT_GAS = 50
+
+
+@dataclass
+class DeployedContract:
+    address: str
+    module: Module
+    interpreter: Interpreter
+    state: ContractState
+    signature: ShardingSignature | None = None
+
+    @property
+    def joins(self) -> dict[str, JoinKind]:
+        return self.signature.joins if self.signature else {}
+
+
+@dataclass
+class EpochStats:
+    dispatched: int = 0
+    committed: int = 0
+    failed: int = 0
+    deferred: int = 0
+    to_ds: int = 0
+    per_shard: dict[int, int] = dc_field(default_factory=dict)
+
+
+class Network:
+    """A sharded blockchain with optional CoSplit-aware dispatch."""
+
+    def __init__(self, n_shards: int, shard_size: int = 5,
+                 ds_size: int = 10, use_signatures: bool = True,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 strict_nonces: bool = False,
+                 overflow_guard: bool = False,
+                 carry_backlog: bool = False):
+        self.n_shards = n_shards
+        self.shard_size = shard_size
+        self.ds_size = ds_size
+        self.use_signatures = use_signatures
+        self.cost = cost_model
+        self.overflow_guard = overflow_guard
+        self.dispatcher = Dispatcher(n_shards, use_signatures)
+        self.accounts: dict[str, Account] = {}
+        self.contracts: dict[str, DeployedContract] = {}
+        self.nonces = NonceTracker(strict=strict_nonces)
+        self.epoch = 0
+        self.blocks: list[FinalBlock] = []
+        # Opt-in mempool: transactions deferred by a lane's gas limit
+        # are retried in the next epoch instead of being dropped.
+        self.carry_backlog = carry_backlog
+        self.backlog: list[Transaction] = []
+
+    # -- setup ----------------------------------------------------------------
+
+    def create_account(self, address: str, balance: int = 10**12) -> Account:
+        address = _pad(address)
+        account = Account(address, balance)
+        account.split_across(self.n_shards, self.dispatcher.home_shard(address))
+        self.accounts[address] = account
+        return account
+
+    def _account(self, address: str) -> Account:
+        address = _pad(address)
+        if address not in self.accounts:
+            return self.create_account(address, balance=0)
+        return self.accounts[address]
+
+    def deploy(self, source: str, address: str,
+               params: dict[str, Value],
+               sharded_transitions: tuple[str, ...] | None = None,
+               weak_reads="auto", balance: int = 0,
+               allow_commutativity: bool = True,
+               proposed_signature: ShardingSignature | None = None
+               ) -> DeployedContract:
+        """Deploy a contract, running the miner-side pipeline.
+
+        ``sharded_transitions`` is the developer's selection; ``None``
+        deploys without a sharding signature (the baseline mode).
+        ``proposed_signature`` is the signature submitted alongside the
+        contract (Sec. 4.3): miners re-derive it from the source and
+        reject the deployment on any mismatch.
+        """
+        address = _pad(address)
+        result = run_pipeline(source, address)
+        interpreter = Interpreter(result.module)
+        state = interpreter.deploy(address, params, balance)
+        signature = None
+        if proposed_signature is not None and self.use_signatures:
+            from ..core.signature import signatures_equal
+            recomputed = result.signature(
+                tuple(sorted(proposed_signature.selected)),
+                weak_reads, allow_commutativity)
+            if not signatures_equal(recomputed, proposed_signature):
+                raise ValueError(
+                    "proposed sharding signature failed miner validation")
+            signature = recomputed
+        elif sharded_transitions is not None and self.use_signatures:
+            signature = result.signature(tuple(sorted(sharded_transitions)),
+                                         weak_reads, allow_commutativity)
+        deployed = DeployedContract(address, result.module, interpreter,
+                                    state, signature)
+        self.contracts[address] = deployed
+        self.dispatcher.register_contract(DeployedSignature(
+            address, signature, dict(state.immutables)))
+        return deployed
+
+    # -- epoch processing --------------------------------------------------------
+
+    def process_epoch(self, txns: list[Transaction],
+                      unlimited: bool = False) -> FinalBlock:
+        """Process one epoch; ``unlimited`` lifts the per-lane gas
+        limits (used for setup epochs that must commit everything)."""
+        self.epoch += 1
+        shard_limit = 10**15 if unlimited else self.cost.shard_gas_limit
+        ds_limit = 10**15 if unlimited else self.cost.ds_gas_limit
+        if self.carry_backlog and self.backlog:
+            txns = self.backlog + list(txns)
+            self.backlog = []
+        stats = EpochStats(dispatched=len(txns))
+
+        queues: dict[int, list[Transaction]] = {s: [] for s in
+                                                range(self.n_shards)}
+        ds_queue: list[Transaction] = []
+        for tx in txns:
+            decision = self.dispatcher.dispatch(tx)
+            if decision.is_ds:
+                ds_queue.append(tx)
+                stats.to_ds += 1
+            else:
+                queues[decision.shard].append(tx)
+                stats.per_shard[decision.shard] = \
+                    stats.per_shard.get(decision.shard, 0) + 1
+
+        # Phase 1: shards execute in parallel lanes on epoch-start state.
+        microblocks: list[MicroBlock] = []
+        shard_exec_times: list[float] = []
+        all_deltas: dict[str, list[StateDelta]] = {}
+        balance_deltas: dict[str, int] = {}
+        for shard, queue in queues.items():
+            mb, local_states, touched, deferred = self._run_lane(
+                shard, queue, shard_limit)
+            stats.deferred += len(deferred)
+            if self.carry_backlog:
+                self.backlog.extend(deferred)
+            microblocks.append(mb)
+            shard_exec_times.append(self.cost.exec_seconds(mb.gas_used))
+            for addr, local in local_states.items():
+                base = self.contracts[addr].state
+                delta = compute_delta(addr, shard, base, local,
+                                      touched.get(addr, set()),
+                                      self.contracts[addr].joins)
+                if delta.entries:
+                    mb.deltas.append(delta)
+                    all_deltas.setdefault(addr, []).append(delta)
+                # Native-token balance changes (accepts / payouts) are
+                # additive, so they merge like an IntMerge component.
+                balance_deltas[addr] = (balance_deltas.get(addr, 0)
+                                        + local.balance - base.balance)
+
+        # Phase 2: DS merges shard deltas (FSD).
+        merged_locations = 0
+        for addr, deltas in all_deltas.items():
+            merged, changed = merge_deltas(self.contracts[addr].state, deltas)
+            self.contracts[addr].state = merged
+            merged_locations += changed
+        for addr, bdelta in balance_deltas.items():
+            if bdelta:
+                self.contracts[addr].state.balance += bdelta
+                merged_locations += 1
+
+        # Phase 3: DS executes the potentially-conflicting transactions
+        # directly on the merged global state.
+        ds_block, ds_states, _, ds_deferred = self._run_lane(
+            DS, ds_queue, ds_limit, use_global_state=True)
+        stats.deferred += len(ds_deferred)
+        if self.carry_backlog:
+            self.backlog.extend(ds_deferred)
+
+        stats.committed = sum(mb.n_committed for mb in microblocks) + \
+            sum(1 for r in ds_block.receipts if r.success)
+        stats.failed = len(txns) - stats.committed
+        block = FinalBlock(
+            epoch=self.epoch,
+            microblocks=microblocks,
+            ds_receipts=ds_block.receipts,
+            merged_locations=merged_locations,
+            stats=stats,
+        )
+        block.epoch_seconds = self.cost.epoch_seconds(
+            shard_exec=shard_exec_times,
+            ds_exec=self.cost.exec_seconds(ds_block.gas_used),
+            merged_locations=merged_locations,
+            shard_size=self.shard_size,
+            ds_size=self.ds_size,
+            n_dispatched=len(txns),
+            with_cosplit=self.use_signatures,
+        )
+        self.blocks.append(block)
+        return block
+
+    # -- lane execution ------------------------------------------------------------
+
+    def _run_lane(self, lane: int, queue: list[Transaction],
+                  gas_limit: int, use_global_state: bool = False):
+        """Execute a queue sequentially, as one shard (or the DS) does."""
+        mb = MicroBlock(shard=lane, epoch=self.epoch)
+        local_states: dict[str, ContractState] = {}
+        touched: dict[str, set[StateKey]] = {}
+
+        def state_for(addr: str) -> ContractState:
+            if use_global_state:
+                return self.contracts[addr].state
+            if addr not in local_states:
+                local_states[addr] = self.contracts[addr].state.copy()
+            return local_states[addr]
+
+        deferred: list[Transaction] = []
+        for position, tx in enumerate(queue):
+            if mb.gas_used >= gas_limit:
+                deferred = queue[position:]
+                break  # retried next epoch when the mempool is enabled
+            receipt = self._execute(tx, lane, state_for, touched)
+            mb.receipts.append(receipt)
+            mb.gas_used += receipt.gas_used
+        return mb, local_states, touched, deferred
+
+    def _execute(self, tx: Transaction, lane: int, state_for,
+                 touched: dict[str, set[StateKey]]) -> Receipt:
+        sender = self._account(tx.sender)
+        if not self.nonces.try_accept(_pad(tx.sender), tx.nonce, lane):
+            return Receipt(tx, False, 0, lane, error="bad nonce")
+
+        if not tx.is_contract_call:
+            fee = PAYMENT_GAS * tx.gas_price
+            if not sender.charge(lane, tx.amount + fee):
+                return Receipt(tx, False, PAYMENT_GAS, lane,
+                               error="insufficient balance")
+            self._account(tx.to).credit(tx.amount, lane)
+            return Receipt(tx, True, PAYMENT_GAS, lane)
+
+        contract = self.contracts.get(_pad(tx.to))
+        if contract is None:
+            return Receipt(tx, False, 0, lane, error="unknown contract")
+
+        chain = _CallChain(self, lane, state_for, tx.gas_limit)
+        try:
+            chain.invoke(contract, tx.transition or "", tx.args_dict(),
+                         caller=_pad(tx.sender), amount=tx.amount,
+                         payer_account=sender, depth=0)
+        except _ChainFailed as exc:
+            chain.rollback()
+            sender.charge(lane, chain.gas_used * tx.gas_price)
+            return Receipt(tx, False, chain.gas_used, lane,
+                           error=str(exc))
+
+        fee = chain.gas_used * tx.gas_price
+        if not sender.charge(lane, fee):
+            # Gas must be paid even for failed transactions; a sender who
+            # cannot pay gets the transaction rejected outright.
+            chain.rollback()
+            return Receipt(tx, False, chain.gas_used, lane,
+                           error="cannot pay gas")
+
+        if self.overflow_guard and lane != DS and \
+                not chain.within_overflow_budget():
+            chain.rollback()
+            return Receipt(tx, False, chain.gas_used, lane,
+                           error="overflow guard: rerouted")
+
+        for addr, keys in chain.touched.items():
+            touched.setdefault(addr, set()).update(keys)
+        return Receipt(tx, True, chain.gas_used, lane,
+                       events=chain.events)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def average_tps(self, last_n: int | None = None) -> float:
+        blocks = self.blocks[-last_n:] if last_n else self.blocks
+        total = sum(b.n_committed for b in blocks)
+        seconds = sum(b.epoch_seconds for b in blocks)
+        return total / seconds if seconds else 0.0
+
+
+# --------------------------------------------------------------------------
+# Chained contract calls (atomic, DS-only beyond the first hop).
+# --------------------------------------------------------------------------
+
+MAX_CALL_DEPTH = 3
+
+
+class _ChainFailed(Exception):
+    """A call in the chain failed; the whole transaction rolls back."""
+
+
+class _CallChain:
+    """Executes a transaction's (possibly multi-contract) call chain.
+
+    Messages sent to user addresses move native tokens; messages sent
+    to *contract* addresses invoke the transition named by the tag —
+    but only inside the DS committee (the lookup node's single-contract
+    check routes such transactions there, Sec. 4.3).  The entire chain
+    is atomic: any failure undoes every state write and balance move.
+    """
+
+    def __init__(self, net: "Network", lane: int, state_for,
+                 gas_limit: int):
+        self.net = net
+        self.lane = lane
+        self.state_for = state_for
+        self.gas_limit = gas_limit
+        self.gas_used = 0
+        self.events: list = []
+        self.touched: dict[str, set[StateKey]] = {}
+        # Undo entries, applied in reverse on rollback.
+        self._undo: list = []
+        self._overflow_results: list[tuple[DeployedContract,
+                                           ContractState, object]] = []
+
+    def invoke(self, contract: DeployedContract, transition: str,
+               args: dict, caller: str, amount: int,
+               payer_account, depth: int) -> None:
+        from ..scilla.errors import ExecError
+        state = self.state_for(contract.address)
+        ctx = TxContext(sender=caller, amount=amount,
+                        block_number=self.net.epoch)
+        try:
+            result = contract.interpreter.run_transition(
+                state, transition, args, ctx,
+                gas_limit=max(self.gas_limit - self.gas_used, 0))
+        except ExecError as exc:
+            raise _ChainFailed(str(exc)) from exc
+        self.gas_used += result.gas_used
+        if not result.success:
+            raise _ChainFailed(result.error or "transition failed")
+
+        log = result.write_log
+        self._undo.append(("writes", state, log))
+        self.events.extend(result.events)
+        self.touched.setdefault(contract.address, set()).update(
+            log.writes.keys())
+        self._overflow_results.append((contract, state, result))
+
+        if result.accepted:
+            # The interpreter already credited the contract; that credit
+            # must be undone too if the chain later fails.
+            self._undo.append(("contract-credit", state, result.accepted))
+            # Debit the payer (the user for the first hop, the calling
+            # contract afterwards).
+            if payer_account is not None:
+                if not payer_account.charge(self.lane, result.accepted):
+                    raise _ChainFailed("insufficient balance for transfer")
+                self._undo.append(("account-debit", payer_account,
+                                   result.accepted))
+            else:
+                caller_state = self.state_for(caller)
+                if caller_state.balance < result.accepted:
+                    raise _ChainFailed(
+                        "insufficient contract balance for transfer")
+                caller_state.balance -= result.accepted
+                self._undo.append(("contract-debit", caller_state,
+                                   result.accepted))
+        else:
+            # Funds offered but not accepted stay with the payer.
+            pass
+
+        for msg in result.messages:
+            recipient = _pad(msg.recipient)
+            callee = self.net.contracts.get(recipient)
+            if callee is not None:
+                if self.lane != DS:
+                    raise _ChainFailed(
+                        "contract-to-contract call outside the DS committee")
+                if depth + 1 >= MAX_CALL_DEPTH:
+                    raise _ChainFailed("call depth exceeded")
+                self.invoke(callee, msg.tag, dict(msg.params),
+                            caller=contract.address, amount=msg.amount,
+                            payer_account=None, depth=depth + 1)
+            elif msg.amount > 0:
+                if state.balance < msg.amount:
+                    raise _ChainFailed(
+                        "insufficient contract balance for payout")
+                state.balance -= msg.amount
+                account = self.net._account(recipient)
+                account.credit(msg.amount, self.lane)
+                self._undo.append(("payout", state, account, msg.amount))
+
+    def rollback(self) -> None:
+        for entry in reversed(self._undo):
+            kind = entry[0]
+            if kind == "writes":
+                _, state, log = entry
+                log.rollback(state)
+            elif kind == "account-debit":
+                _, account, amount = entry
+                account.credit(amount, self.lane)
+            elif kind == "contract-debit":
+                _, state, amount = entry
+                state.balance += amount
+            elif kind == "contract-credit":
+                _, state, amount = entry
+                state.balance -= amount
+            elif kind == "payout":
+                _, state, account, amount = entry
+                state.balance += amount
+                account.balance -= amount
+                account.shard_portions[self.lane] = \
+                    account.shard_portions.get(self.lane, 0) - amount
+        self._undo.clear()
+
+    def within_overflow_budget(self) -> bool:
+        """Sec. 6's conservative per-shard overflow budget for IntMerge
+        components: a transaction may move a component at most
+        ``(MAX - v) / N`` away from its epoch-start value ``v``."""
+        from ..scilla.values import IntVal
+        for contract, state, result in self._overflow_results:
+            base = self.net.contracts[contract.address].state
+            for key in result.write_log.writes:
+                if contract.joins.get(key[0]) is not JoinKind.INT_MERGE:
+                    continue
+                new = state.read(key)
+                old = base.read(key)
+                if not isinstance(new, IntVal):
+                    continue
+                old_v = old.value if isinstance(old, IntVal) else 0
+                _, max_v = ty.int_bounds(new.typ)
+                budget = (max_v - old_v) // max(self.net.n_shards, 1)
+                if abs(new.value - old_v) > budget:
+                    return False
+        return True

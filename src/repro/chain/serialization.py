@@ -1,0 +1,226 @@
+"""JSON wire formats for values, state deltas and sharding signatures.
+
+In the real system (Sec. 5), CoSplit talks to the Zilliqa node over
+JSON-RPC, and the paper attributes most of the measured dispatch/merge
+overhead to serialisation and deserialisation.  This module provides
+the equivalent wire formats: every runtime value, delta entry and
+signature component round-trips through plain JSON, and the overheads
+benchmark exercises these paths.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.constraints import (
+    Bot, Constraint, ContractShard, NoAliases, Owns, SenderShard,
+    UserAddr,
+)
+from ..core.domain import ConstKey, Key, ParamKey, PseudoField
+from ..core.joins import JoinKind
+from ..core.signature import ShardingSignature
+from ..scilla.errors import EvalError
+from ..scilla.state import MISSING, StateKey, _Missing
+from ..scilla import types as ty
+from ..scilla.values import (
+    ADTVal, BNumVal, ByStrVal, IntVal, MapVal, StringVal, Value,
+)
+from .delta import DeltaEntry, StateDelta
+from .transaction import Transaction
+
+
+# --------------------------------------------------------------------------
+# Values.
+# --------------------------------------------------------------------------
+
+def value_to_json(v: Value) -> Any:
+    if isinstance(v, IntVal):
+        return {"t": str(v.typ), "v": str(v.value)}
+    if isinstance(v, StringVal):
+        return {"t": "String", "v": v.value}
+    if isinstance(v, ByStrVal):
+        return {"t": str(v.typ), "v": v.hex}
+    if isinstance(v, BNumVal):
+        return {"t": "BNum", "v": str(v.value)}
+    if isinstance(v, ADTVal):
+        return {"t": "ADT", "adt": v.adt, "c": v.constructor,
+                "targs": [str(t) for t in v.targs],
+                "args": [value_to_json(a) for a in v.args]}
+    if isinstance(v, MapVal):
+        return {"t": "Map", "kt": str(v.key_type), "vt": str(v.value_type),
+                "entries": [[value_to_json(k), value_to_json(val)]
+                            for k, val in v.entries.items()]}
+    raise EvalError(f"cannot serialise value {v!r}")
+
+
+def value_from_json(data: Any) -> Value:
+    from ..scilla.parser import parse_type_str
+    t = data["t"]
+    if t == "String":
+        return StringVal(data["v"])
+    if t == "BNum":
+        return BNumVal(int(data["v"]))
+    if t == "ADT":
+        return ADTVal(data["adt"], data["c"],
+                      tuple(parse_type_str(s) for s in data["targs"]),
+                      tuple(value_from_json(a) for a in data["args"]))
+    if t == "Map":
+        out = MapVal(parse_type_str(data["kt"]),
+                     parse_type_str(data["vt"]))
+        for k, v in data["entries"]:
+            out.entries[value_from_json(k)] = value_from_json(v)
+        return out
+    if t.startswith("ByStr"):
+        return ByStrVal(data["v"], ty.PrimType(t))
+    return IntVal(int(data["v"]), ty.PrimType(t))
+
+
+# --------------------------------------------------------------------------
+# State deltas (the StateDelta messages of Fig. 10).
+# --------------------------------------------------------------------------
+
+def _state_key_to_json(key: StateKey) -> Any:
+    name, keys = key
+    return [name, [value_to_json(k) for k in keys]]
+
+
+def _state_key_from_json(data: Any) -> StateKey:
+    name, keys = data
+    return name, tuple(value_from_json(k) for k in keys)
+
+
+def delta_to_json(delta: StateDelta) -> str:
+    entries = []
+    for e in delta.entries:
+        entries.append({
+            "key": _state_key_to_json(e.key),
+            "kind": e.kind.value,
+            "new": (None if isinstance(e.new_value, _Missing)
+                    else value_to_json(e.new_value)),
+            "diff": e.int_diff,
+            "template": (value_to_json(e.template)
+                         if e.template is not None else None),
+        })
+    return json.dumps({"contract": delta.contract, "shard": delta.shard,
+                       "entries": entries})
+
+
+def delta_from_json(text: str) -> StateDelta:
+    data = json.loads(text)
+    entries = []
+    for e in data["entries"]:
+        entries.append(DeltaEntry(
+            key=_state_key_from_json(e["key"]),
+            kind=JoinKind(e["kind"]),
+            new_value=(MISSING if e["new"] is None
+                       else value_from_json(e["new"])),
+            int_diff=e["diff"],
+            template=(value_from_json(e["template"])
+                      if e["template"] is not None else None),
+        ))
+    return StateDelta(data["contract"], data["shard"], entries)
+
+
+# --------------------------------------------------------------------------
+# Transactions (the lookup-node packets of Fig. 10).
+# --------------------------------------------------------------------------
+
+def transaction_to_json(tx: Transaction) -> str:
+    return json.dumps({
+        "sender": tx.sender, "to": tx.to, "nonce": tx.nonce,
+        "amount": tx.amount, "gas_limit": tx.gas_limit,
+        "gas_price": tx.gas_price, "transition": tx.transition,
+        "args": [[k, value_to_json(v)] for k, v in tx.args],
+    })
+
+
+def transaction_from_json(text: str) -> Transaction:
+    data = json.loads(text)
+    return Transaction(
+        sender=data["sender"], to=data["to"], nonce=data["nonce"],
+        amount=data["amount"], gas_limit=data["gas_limit"],
+        gas_price=data["gas_price"], transition=data["transition"],
+        args=tuple((k, value_from_json(v)) for k, v in data["args"]))
+
+
+# --------------------------------------------------------------------------
+# Sharding signatures (submitted with contract-deploying transactions).
+# --------------------------------------------------------------------------
+
+def _key_to_json(key: Key) -> Any:
+    if isinstance(key, ParamKey):
+        return {"k": "param", "name": key.name}
+    return {"k": "const", "repr": key.repr}
+
+
+def _key_from_json(data: Any) -> Key:
+    if data["k"] == "param":
+        return ParamKey(data["name"])
+    return ConstKey(data["repr"])
+
+
+def _pf_to_json(pf: PseudoField) -> Any:
+    return {"field": pf.field, "keys": [_key_to_json(k) for k in pf.keys]}
+
+
+def _pf_from_json(data: Any) -> PseudoField:
+    return PseudoField(data["field"],
+                       tuple(_key_from_json(k) for k in data["keys"]))
+
+
+def _constraint_to_json(c: Constraint) -> Any:
+    if isinstance(c, Owns):
+        return {"c": "owns", "pf": _pf_to_json(c.pf)}
+    if isinstance(c, UserAddr):
+        return {"c": "useraddr", "param": c.param}
+    if isinstance(c, NoAliases):
+        return {"c": "noaliases", "x": c.x, "y": c.y}
+    if isinstance(c, SenderShard):
+        return {"c": "sendershard"}
+    if isinstance(c, ContractShard):
+        return {"c": "contractshard"}
+    assert isinstance(c, Bot)
+    return {"c": "bot", "reason": c.reason}
+
+
+def _constraint_from_json(data: Any) -> Constraint:
+    kind = data["c"]
+    if kind == "owns":
+        return Owns(_pf_from_json(data["pf"]))
+    if kind == "useraddr":
+        return UserAddr(data["param"])
+    if kind == "noaliases":
+        return NoAliases(data["x"], data["y"])
+    if kind == "sendershard":
+        return SenderShard()
+    if kind == "contractshard":
+        return ContractShard()
+    return Bot(data["reason"])
+
+
+def signature_to_json(sig: ShardingSignature) -> str:
+    return json.dumps({
+        "contract": sig.contract,
+        "selected": list(sig.selected),
+        "constraints": {
+            t: [_constraint_to_json(c) for c in sorted(cs, key=str)]
+            for t, cs in sig.constraints.items()
+        },
+        "joins": {f: j.value for f, j in sig.joins.items()},
+        "weak_reads": sorted(sig.weak_reads),
+    })
+
+
+def signature_from_json(text: str) -> ShardingSignature:
+    data = json.loads(text)
+    return ShardingSignature(
+        contract=data["contract"],
+        selected=tuple(data["selected"]),
+        constraints={
+            t: frozenset(_constraint_from_json(c) for c in cs)
+            for t, cs in data["constraints"].items()
+        },
+        joins={f: JoinKind(j) for f, j in data["joins"].items()},
+        weak_reads=frozenset(data["weak_reads"]),
+    )

@@ -1,0 +1,223 @@
+"""Command-line interface for the CoSplit reproduction.
+
+Usage (also via ``python -m repro``):
+
+    repro analyze   <file.scilla | corpus:Name>     effect summaries
+    repro signature <file|corpus:Name> T1 T2 …      derive a signature
+    repro solve     <file|corpus:Name>              GE-signature report
+    repro diagnose  <file|corpus:Name>              why sharding fails
+    repro repair    <file|corpus:Name> [Transition] rewrite + print
+    repro corpus                                    list corpus contracts
+    repro bench     fig1|fig12|fig13|fig14|table|overheads|ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .contracts import CORPUS, contract_loc
+from .core.pipeline import run_pipeline
+from .core.repair import diagnose, repair_module, repair_transition
+from .scilla.parser import parse_module
+from .scilla.pretty import pp_module
+
+
+def _load_source(spec: str) -> tuple[str, str]:
+    """Resolve ``corpus:Name`` or a filesystem path to source text."""
+    if spec.startswith("corpus:"):
+        name = spec.removeprefix("corpus:")
+        if name not in CORPUS:
+            raise SystemExit(f"unknown corpus contract {name!r}; run "
+                             f"`repro corpus` to list them")
+        return CORPUS[name], name
+    with open(spec, encoding="utf-8") as handle:
+        return handle.read(), spec
+
+
+def cmd_analyze(args) -> int:
+    source, name = _load_source(args.contract)
+    result = run_pipeline(source, name)
+    for summary in result.summaries.values():
+        print(summary)
+        print()
+    us = result.timings.as_microseconds()
+    print(f"[parse {us['parse']:.0f} µs | typecheck "
+          f"{us['typecheck']:.0f} µs | analysis {us['analysis']:.0f} µs]")
+    return 0
+
+
+def cmd_signature(args) -> int:
+    source, name = _load_source(args.contract)
+    result = run_pipeline(source, name)
+    selection = tuple(args.transitions) or tuple(result.summaries)
+    unknown = set(selection) - set(result.summaries)
+    if unknown:
+        raise SystemExit(f"unknown transitions: {sorted(unknown)}")
+    weak = set(args.weak_reads) if args.weak_reads else "auto"
+    sig = result.signature(selection, weak_reads=weak,
+                           allow_commutativity=not args.ownership_only)
+    print(sig.describe())
+    return 0
+
+
+def cmd_solve(args) -> int:
+    source, name = _load_source(args.contract)
+    result = run_pipeline(source, name)
+    solver = result.solver()
+    report = solver.report()
+    print(f"{report.contract}: {report.n_transitions} transitions")
+    print(f"shardable alone: {solver.shardable_transitions()}")
+    print(f"largest good-enough signature: {report.largest_ge_size}")
+    for selection in report.maximal_ge:
+        print(f"  maximal: {selection}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    source, name = _load_source(args.contract)
+    module = parse_module(source, name)
+    for d in diagnose(module):
+        status = "shardable" if d.shardable else "NOT shardable"
+        print(f"{d.transition}: {status}")
+        for reason in d.reasons:
+            print(f"    reason: {reason}")
+        for binder in d.repairable_binders:
+            print(f"    state-derived map key: {binder}")
+    return 0
+
+
+def cmd_repair(args) -> int:
+    source, name = _load_source(args.contract)
+    module = parse_module(source, name)
+    if args.transition:
+        module, changes = repair_transition(module, args.transition)
+        log = {args.transition: changes} if changes else {}
+    else:
+        module, log = repair_module(module)
+    if not log:
+        print("nothing to repair")
+        return 0
+    for transition, changes in log.items():
+        print(f"-- {transition}:")
+        for change in changes:
+            print(f"   {change}")
+    print()
+    print(pp_module(module))
+    return 0
+
+
+def cmd_repl(_args) -> int:
+    from .scilla.repl import run_repl
+    run_repl()
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    if args.export:
+        from pathlib import Path
+        target = Path(args.export)
+        target.mkdir(parents=True, exist_ok=True)
+        for name, source in CORPUS.items():
+            (target / f"{name}.scilla").write_text(source.strip() + "\n")
+        print(f"wrote {len(CORPUS)} .scilla files to {target}")
+        return 0
+    print(f"{'contract':28s} {'LOC':>5s} {'transitions':>11s}")
+    for name in sorted(CORPUS):
+        result = run_pipeline(CORPUS[name], name)
+        print(f"{name:28s} {contract_loc(name):>5d} "
+              f"{len(result.summaries):>11d}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    target = args.experiment
+    if target == "all":
+        from .eval.report import run_full_report
+        print(run_full_report(output=args.output))
+    elif target == "fig1":
+        from .eval.ethereum_breakdown import format_fig1, run_fig1
+        print(format_fig1(run_fig1()))
+    elif target == "fig12":
+        from .eval.analysis_perf import format_fig12, run_fig12
+        print(format_fig12(run_fig12()))
+    elif target == "fig13":
+        from .eval.ge_stats import format_fig13, run_fig13
+        print(format_fig13(run_fig13()))
+    elif target == "fig14":
+        from .eval.throughput import format_fig14, run_fig14
+        print(format_fig14(run_fig14(epochs=args.epochs)))
+    elif target == "table":
+        from .eval.tables import format_contract_stats, run_contract_stats
+        print(format_contract_stats(run_contract_stats()))
+    elif target == "overheads":
+        from .eval.overheads import format_overheads, run_overheads
+        print(format_overheads(run_overheads()))
+    elif target == "ablation":
+        from .eval.ablation import format_ablation, run_ablation
+        print(format_ablation(run_ablation()))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {target}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoSplit (PLDI 2021) reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="infer effect summaries")
+    p.add_argument("contract")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("signature", help="derive a sharding signature")
+    p.add_argument("contract")
+    p.add_argument("transitions", nargs="*")
+    p.add_argument("--weak-reads", nargs="*", default=None,
+                   help="fields whose stale reads you accept "
+                        "(default: accept whatever is needed)")
+    p.add_argument("--ownership-only", action="store_true",
+                   help="disable the commutativity strategy")
+    p.set_defaults(func=cmd_signature)
+
+    p = sub.add_parser("solve", help="good-enough signature report")
+    p.add_argument("contract")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("diagnose", help="explain unshardable transitions")
+    p.add_argument("contract")
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("repair", help="compare-and-swap repair")
+    p.add_argument("contract")
+    p.add_argument("transition", nargs="?")
+    p.set_defaults(func=cmd_repair)
+
+    p = sub.add_parser("corpus", help="list corpus contracts")
+    p.add_argument("--export", default=None, metavar="DIR",
+                   help="write every corpus contract as a .scilla file")
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("repl", help="interactive Scilla expression REPL")
+    p.set_defaults(func=cmd_repl)
+
+    p = sub.add_parser("bench", help="regenerate a paper experiment")
+    p.add_argument("experiment",
+                   choices=["fig1", "fig12", "fig13", "fig14", "table",
+                            "overheads", "ablation", "all"])
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--output", default=None,
+                   help="write the report to this file (with 'all')")
+    p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1429 @@
+"""Application corpus contracts (games, markets, registries, social).
+
+Mirrors the application names of Fig. 12.  These exercise a wide range
+of analysis features: escrows with deadlines, auctions with refund
+messages, multisig with nested maps, hash-timelock contracts, voting
+with both per-voter ownership and commutative tallies, and analytics
+with purely additive counters.
+"""
+
+# Blackjack: simple casino rounds keyed by player.
+BLACKJACK = """
+scilla_version 0
+
+library Blackjack
+
+let zero = Uint128 0
+let two = Uint128 2
+
+contract Blackjack (dealer: ByStr20)
+
+field bets : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field house_bank : Uint128 = Uint128 0
+
+transition FundBank ()
+  ok = builtin eq _sender dealer;
+  match ok with
+  | False =>
+    e = { _exception : "NotDealer" };
+    throw e
+  | True =>
+    accept;
+    bank <- house_bank;
+    new_bank = builtin add bank _amount;
+    house_bank := new_bank
+  end
+end
+
+transition PlaceBet ()
+  open <- exists bets[_sender];
+  match open with
+  | True =>
+    e = { _exception : "RoundInProgress" };
+    throw e
+  | False =>
+    accept;
+    bets[_sender] := _amount;
+    bank <- house_bank;
+    new_bank = builtin add bank _amount;
+    house_bank := new_bank
+  end
+end
+
+transition Payout (player: ByStr20, won: Bool)
+  ok = builtin eq _sender dealer;
+  match ok with
+  | False =>
+    e = { _exception : "NotDealer" };
+    throw e
+  | True =>
+    bet_opt <- bets[player];
+    match bet_opt with
+    | None =>
+      e = { _exception : "NoOpenRound" };
+      throw e
+    | Some bet =>
+      delete bets[player];
+      match won with
+      | False =>
+      | True =>
+        prize = builtin mul bet two;
+        bank <- house_bank;
+        new_bank = builtin sub bank prize;
+        house_bank := new_bank;
+        msg = { _tag : "Winnings"; _recipient : player; _amount : prize };
+        msgs = one_msg msg;
+        send msgs
+      end
+    end
+  end
+end
+"""
+
+# CelebrityNFT: one-of-one autographs minted by a celebrity.
+CELEBRITY_NFT = """
+scilla_version 0
+
+library CelebrityNFT
+
+contract CelebrityNFT (celebrity: ByStr20)
+
+field autographs : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+field dedications : Map Uint256 String = Emp Uint256 String
+
+transition Autograph (token_id: Uint256, fan: ByStr20, dedication: String)
+  ok = builtin eq _sender celebrity;
+  match ok with
+  | False =>
+    e = { _exception : "NotTheCelebrity" };
+    throw e
+  | True =>
+    taken <- exists autographs[token_id];
+    match taken with
+    | True =>
+      e = { _exception : "AlreadySigned" };
+      throw e
+    | False =>
+      autographs[token_id] := fan;
+      dedications[token_id] := dedication
+    end
+  end
+end
+
+transition Regift (token_id: Uint256, to: ByStr20)
+  owner_opt <- autographs[token_id];
+  match owner_opt with
+  | None =>
+    e = { _exception : "NoSuchAutograph" };
+    throw e
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | False =>
+      e = { _exception : "NotYours" };
+      throw e
+    | True =>
+      autographs[token_id] := to
+    end
+  end
+end
+"""
+
+# DBond: digital bonds with coupon accrual and redemption.
+DBOND = """
+scilla_version 0
+
+library DBond
+
+let zero = Uint128 0
+
+contract DBond (issuer: ByStr20, coupon: Uint128, maturity: BNum)
+
+field holdings : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field accrued : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field outstanding : Uint128 = Uint128 0
+
+transition Subscribe ()
+  accept;
+  held_opt <- holdings[_sender];
+  new_held = match held_opt with
+             | Some h => builtin add h _amount
+             | None => _amount
+             end;
+  holdings[_sender] := new_held;
+  o <- outstanding;
+  new_o = builtin add o _amount;
+  outstanding := new_o
+end
+
+transition PayCoupon (holder: ByStr20)
+  ok = builtin eq _sender issuer;
+  match ok with
+  | False =>
+    e = { _exception : "NotIssuer" };
+    throw e
+  | True =>
+    held_opt <- holdings[holder];
+    match held_opt with
+    | None =>
+      e = { _exception : "NotAHolder" };
+      throw e
+    | Some held =>
+      payment = builtin mul held coupon;
+      acc_opt <- accrued[holder];
+      new_acc = match acc_opt with
+                | Some a => builtin add a payment
+                | None => payment
+                end;
+      accrued[holder] := new_acc
+    end
+  end
+end
+
+transition Redeem ()
+  blk <- & BLOCKNUMBER;
+  early = builtin blt blk maturity;
+  match early with
+  | True =>
+    e = { _exception : "NotMatured" };
+    throw e
+  | False =>
+    held_opt <- holdings[_sender];
+    match held_opt with
+    | None =>
+      e = { _exception : "NotAHolder" };
+      throw e
+    | Some held =>
+      acc_opt <- accrued[_sender];
+      acc = match acc_opt with
+            | Some a => a
+            | None => zero
+            end;
+      total = builtin add held acc;
+      delete holdings[_sender];
+      delete accrued[_sender];
+      o <- outstanding;
+      new_o = builtin sub o held;
+      outstanding := new_o;
+      msg = { _tag : "BondRedemption"; _recipient : _sender;
+              _amount : total };
+      msgs = one_msg msg;
+      send msgs
+    end
+  end
+end
+"""
+
+# Oracle: admin posts off-chain prices; anyone reads via message.
+ORACLE = """
+scilla_version 0
+
+library Oracle
+
+let zero = Uint128 0
+
+contract Oracle (data_provider: ByStr20)
+
+field prices : Map String Uint128 = Emp String Uint128
+field last_update : BNum = BNum 0
+
+transition PostPrice (ticker: String, price: Uint128)
+  ok = builtin eq _sender data_provider;
+  match ok with
+  | False =>
+    e = { _exception : "NotProvider" };
+    throw e
+  | True =>
+    prices[ticker] := price;
+    blk <- & BLOCKNUMBER;
+    last_update := blk;
+    e = { _eventname : "PricePosted"; ticker : ticker; price : price };
+    event e
+  end
+end
+
+transition QueryPrice (ticker: String)
+  price_opt <- prices[ticker];
+  match price_opt with
+  | None =>
+    e = { _exception : "UnknownTicker" };
+    throw e
+  | Some price =>
+    msg = { _tag : "PriceResponse"; _recipient : _sender;
+            _amount : zero; ticker : ticker; price : price };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# AuctionRegistrar: open-outcry auction with refunds to outbid bidders.
+AUCTION_REGISTRAR = """
+scilla_version 0
+
+library AuctionRegistrar
+
+let zero = Uint128 0
+
+contract AuctionRegistrar (auctioneer: ByStr20, closing: BNum)
+
+field highest_bid : Uint128 = Uint128 0
+field highest_bidder : ByStr20 = auctioneer
+field pending_refunds : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition Bid ()
+  blk <- & BLOCKNUMBER;
+  closed = builtin blt closing blk;
+  match closed with
+  | True =>
+    e = { _exception : "AuctionClosed" };
+    throw e
+  | False =>
+    current <- highest_bid;
+    too_low = builtin lt _amount current;
+    match too_low with
+    | True =>
+      e = { _exception : "BidTooLow" };
+      throw e
+    | False =>
+      accept;
+      previous <- highest_bidder;
+      refund_opt <- pending_refunds[previous];
+      new_refund = match refund_opt with
+                   | Some r => builtin add r current
+                   | None => current
+                   end;
+      pending_refunds[previous] := new_refund;
+      highest_bid := _amount;
+      highest_bidder := _sender
+    end
+  end
+end
+
+transition WithdrawRefund ()
+  refund_opt <- pending_refunds[_sender];
+  match refund_opt with
+  | None =>
+    e = { _exception : "NothingToRefund" };
+    throw e
+  | Some refund =>
+    delete pending_refunds[_sender];
+    msg = { _tag : "BidRefund"; _recipient : _sender; _amount : refund };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+
+transition Settle ()
+  blk <- & BLOCKNUMBER;
+  closed = builtin blt closing blk;
+  match closed with
+  | False =>
+    e = { _exception : "AuctionStillOpen" };
+    throw e
+  | True =>
+    winning <- highest_bid;
+    msg = { _tag : "AuctionProceeds"; _recipient : auctioneer;
+            _amount : winning };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# SwapContract: atomic swap order book between two parties.
+SWAP_CONTRACT = """
+scilla_version 0
+
+library SwapContract
+
+let zero = Uint128 0
+
+contract SwapContract (operator: ByStr20)
+
+field offers : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field asks : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition MakeOffer (ask_amount: Uint128)
+  open <- exists offers[_sender];
+  match open with
+  | True =>
+    e = { _exception : "OfferExists" };
+    throw e
+  | False =>
+    accept;
+    offers[_sender] := _amount;
+    asks[_sender] := ask_amount
+  end
+end
+
+transition TakeOffer (maker: ByStr20)
+  offer_opt <- offers[maker];
+  match offer_opt with
+  | None =>
+    e = { _exception : "NoSuchOffer" };
+    throw e
+  | Some offered =>
+    ask_opt <- asks[maker];
+    ask = match ask_opt with
+          | Some a => a
+          | None => zero
+          end;
+    underpaid = builtin lt _amount ask;
+    match underpaid with
+    | True =>
+      e = { _exception : "AskNotMet" };
+      throw e
+    | False =>
+      accept;
+      delete offers[maker];
+      delete asks[maker];
+      pay_maker = { _tag : "SwapProceeds"; _recipient : maker;
+                    _amount : _amount };
+      pay_taker = { _tag : "SwapAsset"; _recipient : _sender;
+                    _amount : offered };
+      msgs = two_msgs pay_maker pay_taker;
+      send msgs
+    end
+  end
+end
+
+transition CancelOffer ()
+  offer_opt <- offers[_sender];
+  match offer_opt with
+  | None =>
+    e = { _exception : "NoOpenOffer" };
+    throw e
+  | Some offered =>
+    delete offers[_sender];
+    delete asks[_sender];
+    msg = { _tag : "OfferReturned"; _recipient : _sender;
+            _amount : offered };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# DinoMighty: dino battles — experience accrues per dino.
+DINO_MIGHTY = """
+scilla_version 0
+
+library DinoMighty
+
+let zero = Uint128 0
+let xp_per_win = Uint128 10
+
+contract DinoMighty (arena_master: ByStr20)
+
+field dinos : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+field experience : Map Uint256 Uint128 = Emp Uint256 Uint128
+
+transition Hatch (dino_id: Uint256, owner: ByStr20)
+  ok = builtin eq _sender arena_master;
+  match ok with
+  | False =>
+    e = { _exception : "NotArenaMaster" };
+    throw e
+  | True =>
+    taken <- exists dinos[dino_id];
+    match taken with
+    | True =>
+      e = { _exception : "DinoExists" };
+      throw e
+    | False =>
+      dinos[dino_id] := owner;
+      experience[dino_id] := zero
+    end
+  end
+end
+
+transition RecordWin (dino_id: Uint256)
+  ok = builtin eq _sender arena_master;
+  match ok with
+  | False =>
+    e = { _exception : "NotArenaMaster" };
+    throw e
+  | True =>
+    xp_opt <- experience[dino_id];
+    new_xp = match xp_opt with
+             | Some xp => builtin add xp xp_per_win
+             | None => xp_per_win
+             end;
+    experience[dino_id] := new_xp
+  end
+end
+
+transition TradeDino (dino_id: Uint256, to: ByStr20)
+  owner_opt <- dinos[dino_id];
+  match owner_opt with
+  | None =>
+    e = { _exception : "NoSuchDino" };
+    throw e
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | False =>
+      e = { _exception : "NotYourDino" };
+      throw e
+    | True =>
+      dinos[dino_id] := to
+    end
+  end
+end
+"""
+
+# OceanRumble_crate: loot crates opened with a server-signed receipt.
+OCEAN_RUMBLE_CRATE = """
+scilla_version 0
+
+library OceanRumbleCrate
+
+let zero = Uint128 0
+
+contract OceanRumbleCrate (game_server: ByStr20, crate_price: Uint128)
+
+field crates : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field opened : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition BuyCrate ()
+  underpaid = builtin lt _amount crate_price;
+  match underpaid with
+  | True =>
+    e = { _exception : "Underpaid" };
+    throw e
+  | False =>
+    accept;
+    have_opt <- crates[_sender];
+    one = Uint128 1;
+    new_have = match have_opt with
+               | Some c => builtin add c one
+               | None => one
+               end;
+    crates[_sender] := new_have
+  end
+end
+
+transition OpenCrate (receipt_id: ByStr32, signature: ByStr32)
+  seen <- exists opened[receipt_id];
+  match seen with
+  | True =>
+    e = { _exception : "ReceiptUsed" };
+    throw e
+  | False =>
+    have_opt <- crates[_sender];
+    have = match have_opt with
+           | Some c => c
+           | None => zero
+           end;
+    one = Uint128 1;
+    none_left = builtin lt have one;
+    match none_left with
+    | True =>
+      e = { _exception : "NoCrates" };
+      throw e
+    | False =>
+      new_have = builtin sub have one;
+      crates[_sender] := new_have;
+      flag = True;
+      opened[receipt_id] := flag;
+      e = { _eventname : "CrateOpened"; receipt : receipt_id };
+      event e
+    end
+  end
+end
+"""
+
+# SocialPay: hashtag campaign payouts with per-user claim tracking.
+SOCIAL_PAY = """
+scilla_version 0
+
+library SocialPay
+
+let zero = Uint128 0
+
+contract SocialPay (campaign_manager: ByStr20, reward: Uint128)
+
+field claimed : Map ByStr20 Bool = Emp ByStr20 Bool
+field campaign_pool : Uint128 = Uint128 0
+field claims_count : Uint128 = Uint128 0
+
+transition FundCampaign ()
+  ok = builtin eq _sender campaign_manager;
+  match ok with
+  | False =>
+    e = { _exception : "NotManager" };
+    throw e
+  | True =>
+    accept;
+    pool <- campaign_pool;
+    new_pool = builtin add pool _amount;
+    campaign_pool := new_pool
+  end
+end
+
+transition ClaimReward (participant: ByStr20)
+  ok = builtin eq _sender campaign_manager;
+  match ok with
+  | False =>
+    e = { _exception : "NotManager" };
+    throw e
+  | True =>
+    done <- exists claimed[participant];
+    match done with
+    | True =>
+      e = { _exception : "AlreadyClaimed" };
+      throw e
+    | False =>
+      pool <- campaign_pool;
+      exhausted = builtin lt pool reward;
+      match exhausted with
+      | True =>
+        e = { _exception : "PoolExhausted" };
+        throw e
+      | False =>
+        flag = True;
+        claimed[participant] := flag;
+        new_pool = builtin sub pool reward;
+        campaign_pool := new_pool;
+        n <- claims_count;
+        one = Uint128 1;
+        new_n = builtin add n one;
+        claims_count := new_n;
+        msg = { _tag : "SocialReward"; _recipient : participant;
+                _amount : reward };
+        msgs = one_msg msg;
+        send msgs
+      end
+    end
+  end
+end
+"""
+
+# RoadDamage: civic reporting of road damage with de-duplication.
+ROAD_DAMAGE = """
+scilla_version 0
+
+library RoadDamage
+
+let one = Uint128 1
+
+contract RoadDamage (authority: ByStr20)
+
+field reports : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field report_counts : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field resolved : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition Report (location_hash: ByStr32)
+  known <- exists reports[location_hash];
+  match known with
+  | True =>
+    e = { _exception : "AlreadyReported" };
+    throw e
+  | False =>
+    reports[location_hash] := _sender;
+    count_opt <- report_counts[_sender];
+    new_count = match count_opt with
+                | Some c => builtin add c one
+                | None => one
+                end;
+    report_counts[_sender] := new_count
+  end
+end
+
+transition Resolve (location_hash: ByStr32)
+  ok = builtin eq _sender authority;
+  match ok with
+  | False =>
+    e = { _exception : "NotAuthority" };
+    throw e
+  | True =>
+    known <- exists reports[location_hash];
+    match known with
+    | False =>
+      e = { _exception : "NoSuchReport" };
+      throw e
+    | True =>
+      flag = True;
+      resolved[location_hash] := flag
+    end
+  end
+end
+"""
+
+# IOU: peer-to-peer debt ledger with netting.
+IOU = """
+scilla_version 0
+
+library IOUContract
+
+let zero = Uint128 0
+
+contract IOUContract (notary: ByStr20)
+
+field debts : Map ByStr20 (Map ByStr20 Uint128) =
+  Emp ByStr20 (Map ByStr20 Uint128)
+
+transition Owe (creditor: ByStr20, amount: Uint128)
+  debt_opt <- debts[_sender][creditor];
+  new_debt = match debt_opt with
+             | Some d => builtin add d amount
+             | None => amount
+             end;
+  debts[_sender][creditor] := new_debt;
+  e = { _eventname : "DebtRecorded"; debtor : _sender;
+        creditor : creditor; amount : amount };
+  event e
+end
+
+transition Settle (creditor: ByStr20, amount: Uint128)
+  debt_opt <- debts[_sender][creditor];
+  debt = match debt_opt with
+         | Some d => d
+         | None => zero
+         end;
+  too_much = builtin lt debt amount;
+  match too_much with
+  | True =>
+    e = { _exception : "OverSettling" };
+    throw e
+  | False =>
+    new_debt = builtin sub debt amount;
+    debts[_sender][creditor] := new_debt;
+    e = { _eventname : "DebtSettled"; debtor : _sender;
+          creditor : creditor; amount : amount };
+    event e
+  end
+end
+"""
+
+# HydraXSettlement: netted settlement instructions from a clearinghouse.
+HYDRAX_SETTLEMENT = """
+scilla_version 0
+
+library HydraXSettlement
+
+let zero = Uint128 0
+
+contract HydraXSettlement (clearinghouse: ByStr20)
+
+field positions : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field settled_batches : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition Credit (batch_id: ByStr32, account: ByStr20, amount: Uint128)
+  ok = builtin eq _sender clearinghouse;
+  match ok with
+  | False =>
+    e = { _exception : "NotClearinghouse" };
+    throw e
+  | True =>
+    done <- exists settled_batches[batch_id];
+    match done with
+    | True =>
+      e = { _exception : "BatchSettled" };
+      throw e
+    | False =>
+      pos_opt <- positions[account];
+      new_pos = match pos_opt with
+                | Some p => builtin add p amount
+                | None => amount
+                end;
+      positions[account] := new_pos
+    end
+  end
+end
+
+transition MarkSettled (batch_id: ByStr32)
+  ok = builtin eq _sender clearinghouse;
+  match ok with
+  | False =>
+    e = { _exception : "NotClearinghouse" };
+    throw e
+  | True =>
+    flag = True;
+    settled_batches[batch_id] := flag
+  end
+end
+
+transition Withdraw (amount: Uint128)
+  pos_opt <- positions[_sender];
+  pos = match pos_opt with
+        | Some p => p
+        | None => zero
+        end;
+  insufficient = builtin lt pos amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientPosition" };
+    throw e
+  | False =>
+    new_pos = builtin sub pos amount;
+    positions[_sender] := new_pos;
+    msg = { _tag : "SettlementPayout"; _recipient : _sender;
+            _amount : amount };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# PayRespect: tip jar — everyone can pay respects with a donation.
+PAY_RESPECT = """
+scilla_version 0
+
+library PayRespect
+
+let one = Uint128 1
+
+contract PayRespect (memorial: String)
+
+field respects : Uint128 = Uint128 0
+field donations : Uint128 = Uint128 0
+
+transition Press ()
+  accept;
+  r <- respects;
+  new_r = builtin add r one;
+  respects := new_r;
+  d <- donations;
+  new_d = builtin add d _amount;
+  donations := new_d;
+  e = { _eventname : "RespectsPaid"; total : new_r };
+  event e
+end
+"""
+
+# Bookstore: a full shop (12 transitions) — inventory, pricing,
+# clerks, store credit, discounts, and administration.
+BOOKSTORE = """
+scilla_version 0
+
+library Bookstore
+
+let zero = Uint128 0
+let one = Uint128 1
+let true = True
+
+contract Bookstore (store_owner: ByStr20)
+
+field inventory : Map String Uint128 = Emp String Uint128
+field book_prices : Map String Uint128 = Emp String Uint128
+field revenue : Uint128 = Uint128 0
+field clerks : Map ByStr20 Bool = Emp ByStr20 Bool
+field store_credit : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field discount : Uint128 = Uint128 0
+field closed : Bool = False
+
+procedure ThrowIfNotStoreOwner ()
+  ok = builtin eq _sender store_owner;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotStoreOwner" };
+    throw e
+  end
+end
+
+procedure ThrowIfNotStaff ()
+  is_owner = builtin eq _sender store_owner;
+  is_clerk <- exists clerks[_sender];
+  ok = orb is_owner is_clerk;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotStaff" };
+    throw e
+  end
+end
+
+procedure ThrowIfClosed ()
+  c <- closed;
+  match c with
+  | True =>
+    e = { _exception : "StoreClosed" };
+    throw e
+  | False =>
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Inventory                                                           *)
+(* ------------------------------------------------------------------ *)
+
+transition Stock (isbn: String, count: Uint128, price: Uint128)
+  ThrowIfNotStaff;
+  have_opt <- inventory[isbn];
+  new_have = match have_opt with
+             | Some h => builtin add h count
+             | None => count
+             end;
+  inventory[isbn] := new_have;
+  book_prices[isbn] := price
+end
+
+transition SetPrice (isbn: String, price: Uint128)
+  ThrowIfNotStaff;
+  known <- exists book_prices[isbn];
+  match known with
+  | False =>
+    e = { _exception : "UnknownBook" };
+    throw e
+  | True =>
+    book_prices[isbn] := price
+  end
+end
+
+transition RemoveBook (isbn: String)
+  ThrowIfNotStoreOwner;
+  delete inventory[isbn];
+  delete book_prices[isbn]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sales                                                               *)
+(* ------------------------------------------------------------------ *)
+
+transition Buy (isbn: String)
+  ThrowIfClosed;
+  price_opt <- book_prices[isbn];
+  match price_opt with
+  | None =>
+    e = { _exception : "UnknownBook" };
+    throw e
+  | Some price =>
+    d <- discount;
+    charged = builtin sub price d;
+    underpaid = builtin lt _amount charged;
+    match underpaid with
+    | True =>
+      e = { _exception : "Underpaid" };
+      throw e
+    | False =>
+      have_opt <- inventory[isbn];
+      have = match have_opt with
+             | Some h => h
+             | None => zero
+             end;
+      out_of_stock = builtin lt have one;
+      match out_of_stock with
+      | True =>
+        e = { _exception : "OutOfStock" };
+        throw e
+      | False =>
+        accept;
+        new_have = builtin sub have one;
+        inventory[isbn] := new_have;
+        r <- revenue;
+        new_r = builtin add r charged;
+        revenue := new_r
+      end
+    end
+  end
+end
+
+transition GrantStoreCredit (customer: ByStr20, amount: Uint128)
+  ThrowIfNotStaff;
+  c_opt <- store_credit[customer];
+  new_c = match c_opt with
+          | Some c => builtin add c amount
+          | None => amount
+          end;
+  store_credit[customer] := new_c
+end
+
+transition BuyWithCredit (isbn: String)
+  ThrowIfClosed;
+  price_opt <- book_prices[isbn];
+  match price_opt with
+  | None =>
+    e = { _exception : "UnknownBook" };
+    throw e
+  | Some price =>
+    c_opt <- store_credit[_sender];
+    credit = match c_opt with
+             | Some c => c
+             | None => zero
+             end;
+    short = builtin lt credit price;
+    match short with
+    | True =>
+      e = { _exception : "InsufficientCredit" };
+      throw e
+    | False =>
+      have_opt <- inventory[isbn];
+      have = match have_opt with
+             | Some h => h
+             | None => zero
+             end;
+      out_of_stock = builtin lt have one;
+      match out_of_stock with
+      | True =>
+        e = { _exception : "OutOfStock" };
+        throw e
+      | False =>
+        new_credit = builtin sub credit price;
+        store_credit[_sender] := new_credit;
+        new_have = builtin sub have one;
+        inventory[isbn] := new_have
+      end
+    end
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Staff and administration                                            *)
+(* ------------------------------------------------------------------ *)
+
+transition AddClerk (clerk: ByStr20)
+  ThrowIfNotStoreOwner;
+  clerks[clerk] := true
+end
+
+transition RemoveClerk (clerk: ByStr20)
+  ThrowIfNotStoreOwner;
+  delete clerks[clerk]
+end
+
+transition SetDiscount (amount: Uint128)
+  ThrowIfNotStoreOwner;
+  discount := amount
+end
+
+transition CloseStore ()
+  ThrowIfNotStoreOwner;
+  flag = True;
+  closed := flag
+end
+
+transition OpenStore ()
+  ThrowIfNotStoreOwner;
+  flag = False;
+  closed := flag
+end
+
+transition WithdrawRevenue ()
+  ThrowIfNotStoreOwner;
+  r <- revenue;
+  revenue := zero;
+  msg = { _tag : "Revenue"; _recipient : store_owner; _amount : r };
+  msgs = one_msg msg;
+  send msgs
+end
+"""
+
+# LikeMaster: social likes — purely commutative counters.
+LIKE_MASTER = """
+scilla_version 0
+
+library LikeMaster
+
+let one = Uint128 1
+
+contract LikeMaster (platform: ByStr20)
+
+field likes : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+field user_activity : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition Like (post_id: ByStr32)
+  count_opt <- likes[post_id];
+  new_count = match count_opt with
+              | Some c => builtin add c one
+              | None => one
+              end;
+  likes[post_id] := new_count;
+  activity_opt <- user_activity[_sender];
+  new_activity = match activity_opt with
+                 | Some a => builtin add a one
+                 | None => one
+                 end;
+  user_activity[_sender] := new_activity
+end
+
+transition RemovePost (post_id: ByStr32)
+  ok = builtin eq _sender platform;
+  match ok with
+  | False =>
+    e = { _exception : "NotPlatform" };
+    throw e
+  | True =>
+    delete likes[post_id]
+  end
+end
+"""
+
+# BoltAnalytics: usage metering — additive counters per app and user.
+BOLT_ANALYTICS = """
+scilla_version 0
+
+library BoltAnalytics
+
+let one = Uint64 1
+
+contract BoltAnalytics (operator: ByStr20)
+
+field app_events : Map String Uint64 = Emp String Uint64
+field user_events : Map ByStr20 Uint64 = Emp ByStr20 Uint64
+field total_events : Uint64 = Uint64 0
+
+transition Track (app: String)
+  app_opt <- app_events[app];
+  new_app = match app_opt with
+            | Some c => builtin add c one
+            | None => one
+            end;
+  app_events[app] := new_app;
+  user_opt <- user_events[_sender];
+  new_user = match user_opt with
+             | Some c => builtin add c one
+             | None => one
+             end;
+  user_events[_sender] := new_user;
+  t <- total_events;
+  new_t = builtin add t one;
+  total_events := new_t
+end
+
+transition ResetApp (app: String)
+  ok = builtin eq _sender operator;
+  match ok with
+  | False =>
+    e = { _exception : "NotOperator" };
+    throw e
+  | True =>
+    delete app_events[app]
+  end
+end
+"""
+
+# Voting: per-voter ownership + commutative tallies (Sec. 5.2.3's
+# example of a contract benefiting from both strategies).
+VOTING = """
+scilla_version 0
+
+library Voting
+
+let one = Uint128 1
+
+contract Voting (election_admin: ByStr20, closing: BNum)
+
+field voted : Map ByStr20 Bool = Emp ByStr20 Bool
+field tallies : Map String Uint128 = Emp String Uint128
+field registered : Map ByStr20 Bool = Emp ByStr20 Bool
+
+transition RegisterVoter (voter: ByStr20)
+  ok = builtin eq _sender election_admin;
+  match ok with
+  | False =>
+    e = { _exception : "NotElectionAdmin" };
+    throw e
+  | True =>
+    flag = True;
+    registered[voter] := flag
+  end
+end
+
+transition Vote (candidate: String)
+  blk <- & BLOCKNUMBER;
+  closed = builtin blt closing blk;
+  match closed with
+  | True =>
+    e = { _exception : "ElectionClosed" };
+    throw e
+  | False =>
+    eligible <- exists registered[_sender];
+    match eligible with
+    | False =>
+      e = { _exception : "NotRegistered" };
+      throw e
+    | True =>
+      already <- exists voted[_sender];
+      match already with
+      | True =>
+        e = { _exception : "AlreadyVoted" };
+        throw e
+      | False =>
+        flag = True;
+        voted[_sender] := flag;
+        tally_opt <- tallies[candidate];
+        new_tally = match tally_opt with
+                    | Some t => builtin add t one
+                    | None => one
+                    end;
+        tallies[candidate] := new_tally
+      end
+    end
+  end
+end
+"""
+
+# LoveZilliqa: guestbook of declarations, one per sender.
+LOVE_ZILLIQA = """
+scilla_version 0
+
+library LoveZilliqa
+
+contract LoveZilliqa (curator: ByStr20)
+
+field declarations : Map ByStr20 String = Emp ByStr20 String
+
+transition Declare (message: String)
+  declarations[_sender] := message;
+  e = { _eventname : "LoveDeclared"; from : _sender };
+  event e
+end
+
+transition Moderate (author: ByStr20)
+  ok = builtin eq _sender curator;
+  match ok with
+  | False =>
+    e = { _exception : "NotCurator" };
+    throw e
+  | True =>
+    delete declarations[author]
+  end
+end
+"""
+
+# Quizbot: quiz with hash-committed answers and a prize per question.
+QUIZBOT = """
+scilla_version 0
+
+library Quizbot
+
+let zero = Uint128 0
+
+contract Quizbot (quizmaster: ByStr20)
+
+field answer_hashes : Map Uint32 ByStr32 = Emp Uint32 ByStr32
+field prizes : Map Uint32 Uint128 = Emp Uint32 Uint128
+field winners : Map Uint32 ByStr20 = Emp Uint32 ByStr20
+
+transition PostQuestion (qid: Uint32, answer_hash: ByStr32)
+  ok = builtin eq _sender quizmaster;
+  match ok with
+  | False =>
+    e = { _exception : "NotQuizmaster" };
+    throw e
+  | True =>
+    accept;
+    answer_hashes[qid] := answer_hash;
+    prizes[qid] := _amount
+  end
+end
+
+transition SubmitAnswer (qid: Uint32, answer: String)
+  won <- exists winners[qid];
+  match won with
+  | True =>
+    e = { _exception : "AlreadyWon" };
+    throw e
+  | False =>
+    expected_opt <- answer_hashes[qid];
+    match expected_opt with
+    | None =>
+      e = { _exception : "NoSuchQuestion" };
+      throw e
+    | Some expected =>
+      actual = builtin sha256hash answer;
+      correct = builtin eq actual expected;
+      match correct with
+      | False =>
+        e = { _exception : "WrongAnswer" };
+        throw e
+      | True =>
+        winners[qid] := _sender;
+        prize_opt <- prizes[qid];
+        prize = match prize_opt with
+                | Some p => p
+                | None => zero
+                end;
+        msg = { _tag : "QuizPrize"; _recipient : _sender;
+                _amount : prize };
+        msgs = one_msg msg;
+        send msgs
+      end
+    end
+  end
+end
+"""
+
+# BunkeringLog: maritime fuel-delivery log entries, append-only.
+BUNKERING_LOG = """
+scilla_version 0
+
+library BunkeringLog
+
+let one = Uint64 1
+
+contract BunkeringLog (port_authority: ByStr20)
+
+field deliveries : Map ByStr32 String = Emp ByStr32 String
+field vessel_counts : Map String Uint64 = Emp String Uint64
+
+transition LogDelivery (delivery_id: ByStr32, vessel: String,
+                        details: String)
+  known <- exists deliveries[delivery_id];
+  match known with
+  | True =>
+    e = { _exception : "DuplicateDelivery" };
+    throw e
+  | False =>
+    deliveries[delivery_id] := details;
+    count_opt <- vessel_counts[vessel];
+    new_count = match count_opt with
+                | Some c => builtin add c one
+                | None => one
+                end;
+    vessel_counts[vessel] := new_count
+  end
+end
+
+transition Amend (delivery_id: ByStr32, details: String)
+  ok = builtin eq _sender port_authority;
+  match ok with
+  | False =>
+    e = { _exception : "NotPortAuthority" };
+    throw e
+  | True =>
+    known <- exists deliveries[delivery_id];
+    match known with
+    | False =>
+      e = { _exception : "NoSuchDelivery" };
+      throw e
+    | True =>
+      deliveries[delivery_id] := details
+    end
+  end
+end
+"""
+
+# Soundario: music rights — plays accrue royalties to rights holders.
+SOUNDARIO = """
+scilla_version 0
+
+library Soundario
+
+let zero = Uint128 0
+
+contract Soundario (platform: ByStr20, royalty_per_play: Uint128)
+
+field track_owners : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field royalties : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field play_counts : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+transition PublishTrack (track_id: ByStr32)
+  taken <- exists track_owners[track_id];
+  match taken with
+  | True =>
+    e = { _exception : "TrackExists" };
+    throw e
+  | False =>
+    track_owners[track_id] := _sender
+  end
+end
+
+transition RecordPlay (track_id: ByStr32, rights_holder: ByStr20)
+  ok = builtin eq _sender platform;
+  match ok with
+  | False =>
+    e = { _exception : "NotPlatform" };
+    throw e
+  | True =>
+    owner_opt <- track_owners[track_id];
+    match owner_opt with
+    | None =>
+      e = { _exception : "UnknownTrack" };
+      throw e
+    | Some owner =>
+      rightful = builtin eq owner rights_holder;
+      match rightful with
+      | False =>
+        e = { _exception : "WrongRightsHolder" };
+        throw e
+      | True =>
+        one = Uint128 1;
+        plays_opt <- play_counts[track_id];
+        new_plays = match plays_opt with
+                    | Some p => builtin add p one
+                    | None => one
+                    end;
+        play_counts[track_id] := new_plays;
+        owed_opt <- royalties[rights_holder];
+        new_owed = match owed_opt with
+                   | Some o => builtin add o royalty_per_play
+                   | None => royalty_per_play
+                   end;
+        royalties[rights_holder] := new_owed
+      end
+    end
+  end
+end
+
+transition ClaimRoyalties ()
+  owed_opt <- royalties[_sender];
+  match owed_opt with
+  | None =>
+    e = { _exception : "NothingOwed" };
+    throw e
+  | Some owed =>
+    delete royalties[_sender];
+    msg = { _tag : "RoyaltyPayout"; _recipient : _sender;
+            _amount : owed };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# GoFundMi: milestone-based crowdfunding with partial releases.
+GO_FUND_MI = """
+scilla_version 0
+
+library GoFundMi
+
+let zero = Uint128 0
+
+contract GoFundMi (project_owner: ByStr20, milestone_amount: Uint128)
+
+field contributions : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field total_raised : Uint128 = Uint128 0
+field released : Uint128 = Uint128 0
+
+transition Contribute ()
+  accept;
+  c_opt <- contributions[_sender];
+  new_c = match c_opt with
+          | Some c => builtin add c _amount
+          | None => _amount
+          end;
+  contributions[_sender] := new_c;
+  t <- total_raised;
+  new_t = builtin add t _amount;
+  total_raised := new_t
+end
+
+transition ReleaseMilestone ()
+  ok = builtin eq _sender project_owner;
+  match ok with
+  | False =>
+    e = { _exception : "NotProjectOwner" };
+    throw e
+  | True =>
+    t <- total_raised;
+    r <- released;
+    new_released = builtin add r milestone_amount;
+    over = builtin lt t new_released;
+    match over with
+    | True =>
+      e = { _exception : "NotEnoughRaised" };
+      throw e
+    | False =>
+      released := new_released;
+      msg = { _tag : "MilestonePayment"; _recipient : project_owner;
+              _amount : milestone_amount };
+      msgs = one_msg msg;
+      send msgs
+    end
+  end
+end
+"""

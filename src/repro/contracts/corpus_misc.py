@@ -1,0 +1,713 @@
+"""Remaining corpus contracts: infrastructure, UD family, and the
+small demo contracts from the bottom of Fig. 12."""
+
+# Map_cornercases: exercises nested maps, deletes, whole-map stores.
+MAP_CORNERCASES = """
+scilla_version 0
+
+library MapCornercases
+
+let zero = Uint128 0
+
+contract MapCornercases (admin: ByStr20)
+
+field shallow : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field nested : Map ByStr20 (Map String Uint128) =
+  Emp ByStr20 (Map String Uint128)
+field scratch : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition PutShallow (key: ByStr20, value: Uint128)
+  shallow[key] := value
+end
+
+transition PutNested (key: ByStr20, subkey: String, value: Uint128)
+  nested[key][subkey] := value
+end
+
+transition DeleteNested (key: ByStr20, subkey: String)
+  present <- exists nested[key][subkey];
+  match present with
+  | False =>
+    e = { _exception : "NoSuchEntry" };
+    throw e
+  | True =>
+    delete nested[key][subkey]
+  end
+end
+
+transition ResetScratch ()
+  ok = builtin eq _sender admin;
+  match ok with
+  | False =>
+    e = { _exception : "NotAdmin" };
+    throw e
+  | True =>
+    empty = Emp ByStr20 Uint128;
+    scratch := empty
+  end
+end
+
+transition CopyEntry (from_key: ByStr20, to_key: ByStr20)
+  v_opt <- shallow[from_key];
+  match v_opt with
+  | None =>
+    e = { _exception : "NoSuchEntry" };
+    throw e
+  | Some v =>
+    scratch[to_key] := v
+  end
+end
+"""
+
+# HTLC: hash time-locked contract for atomic cross-chain swaps.
+HTLC = """
+scilla_version 0
+
+library HTLC
+
+let zero = Uint128 0
+
+contract HTLC (beneficiary: ByStr20, hashlock: ByStr32, timelock: BNum)
+
+field funded_amount : Uint128 = Uint128 0
+field depositor : ByStr20 = beneficiary
+field claimed : Bool = False
+
+transition Fund ()
+  current <- funded_amount;
+  already = builtin lt zero current;
+  match already with
+  | True =>
+    e = { _exception : "AlreadyFunded" };
+    throw e
+  | False =>
+    accept;
+    funded_amount := _amount;
+    depositor := _sender
+  end
+end
+
+transition Claim (preimage: String)
+  done <- claimed;
+  match done with
+  | True =>
+    e = { _exception : "AlreadyClaimed" };
+    throw e
+  | False =>
+    digest = builtin sha256hash preimage;
+    matches = builtin eq digest hashlock;
+    match matches with
+    | False =>
+      e = { _exception : "WrongPreimage" };
+      throw e
+    | True =>
+      amount <- funded_amount;
+      flag = True;
+      claimed := flag;
+      msg = { _tag : "HTLCClaim"; _recipient : beneficiary;
+              _amount : amount };
+      msgs = one_msg msg;
+      send msgs
+    end
+  end
+end
+
+transition Refund ()
+  blk <- & BLOCKNUMBER;
+  early = builtin blt blk timelock;
+  match early with
+  | True =>
+    e = { _exception : "TimelockActive" };
+    throw e
+  | False =>
+    done <- claimed;
+    match done with
+    | True =>
+      e = { _exception : "AlreadyClaimed" };
+      throw e
+    | False =>
+      amount <- funded_amount;
+      original_depositor <- depositor;
+      flag = True;
+      claimed := flag;
+      msg = { _tag : "HTLCRefund"; _recipient : original_depositor;
+              _amount : amount };
+      msgs = one_msg msg;
+      send msgs
+    end
+  end
+end
+"""
+
+# Multisig: 2-phase wallet — submit then confirm, nested-map votes.
+MULTISIG = """
+scilla_version 0
+
+library Multisig
+
+let one = Uint32 1
+let zero32 = Uint32 0
+
+contract Multisig
+(
+  owner_a: ByStr20,
+  owner_b: ByStr20,
+  owner_c: ByStr20,
+  required: Uint32
+)
+
+field proposals : Map Uint32 ByStr20 = Emp Uint32 ByStr20
+field amounts : Map Uint32 Uint128 = Emp Uint32 Uint128
+field confirmations : Map Uint32 (Map ByStr20 Bool) =
+  Emp Uint32 (Map ByStr20 Bool)
+field confirmation_counts : Map Uint32 Uint32 = Emp Uint32 Uint32
+field executed : Map Uint32 Bool = Emp Uint32 Bool
+
+procedure ThrowIfNotOwner ()
+  is_a = builtin eq _sender owner_a;
+  is_b = builtin eq _sender owner_b;
+  is_c = builtin eq _sender owner_c;
+  ab = orb is_a is_b;
+  ok = orb ab is_c;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotAnOwner" };
+    throw e
+  end
+end
+
+transition Deposit ()
+  accept
+end
+
+transition Submit (proposal_id: Uint32, destination: ByStr20,
+                   amount: Uint128)
+  ThrowIfNotOwner;
+  taken <- exists proposals[proposal_id];
+  match taken with
+  | True =>
+    e = { _exception : "ProposalExists" };
+    throw e
+  | False =>
+    proposals[proposal_id] := destination;
+    amounts[proposal_id] := amount;
+    confirmation_counts[proposal_id] := zero32
+  end
+end
+
+transition Confirm (proposal_id: Uint32)
+  ThrowIfNotOwner;
+  known <- exists proposals[proposal_id];
+  match known with
+  | False =>
+    e = { _exception : "NoSuchProposal" };
+    throw e
+  | True =>
+    voted <- exists confirmations[proposal_id][_sender];
+    match voted with
+    | True =>
+      e = { _exception : "AlreadyConfirmed" };
+      throw e
+    | False =>
+      flag = True;
+      confirmations[proposal_id][_sender] := flag;
+      count_opt <- confirmation_counts[proposal_id];
+      new_count = match count_opt with
+                  | Some c => builtin add c one
+                  | None => one
+                  end;
+      confirmation_counts[proposal_id] := new_count
+    end
+  end
+end
+
+transition Execute (proposal_id: Uint32)
+  ThrowIfNotOwner;
+  done <- exists executed[proposal_id];
+  match done with
+  | True =>
+    e = { _exception : "AlreadyExecuted" };
+    throw e
+  | False =>
+    count_opt <- confirmation_counts[proposal_id];
+    count = match count_opt with
+            | Some c => c
+            | None => zero32
+            end;
+    short = builtin lt count required;
+    match short with
+    | True =>
+      e = { _exception : "NotEnoughConfirmations" };
+      throw e
+    | False =>
+      dest_opt <- proposals[proposal_id];
+      amount_opt <- amounts[proposal_id];
+      match dest_opt with
+      | None =>
+        e = { _exception : "NoSuchProposal" };
+        throw e
+      | Some dest =>
+        amount = match amount_opt with
+                 | Some a => a
+                 | None => Uint128 0
+                 end;
+        flag = True;
+        executed[proposal_id] := flag;
+        msg = { _tag : "MultisigPayout"; _recipient : dest;
+                _amount : amount };
+        msgs = one_msg msg;
+        send msgs
+      end
+    end
+  end
+end
+"""
+
+# LandMRToken: land parcels with rental yield accrual.
+LAND_MR_TOKEN = """
+scilla_version 0
+
+library LandMRToken
+
+let zero = Uint128 0
+
+contract LandMRToken (land_office: ByStr20)
+
+field parcels : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+field rents : Map Uint256 Uint128 = Emp Uint256 Uint128
+field yield_owed : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition GrantParcel (parcel_id: Uint256, owner: ByStr20, rent: Uint128)
+  ok = builtin eq _sender land_office;
+  match ok with
+  | False =>
+    e = { _exception : "NotLandOffice" };
+    throw e
+  | True =>
+    taken <- exists parcels[parcel_id];
+    match taken with
+    | True =>
+      e = { _exception : "ParcelTaken" };
+      throw e
+    | False =>
+      parcels[parcel_id] := owner;
+      rents[parcel_id] := rent
+    end
+  end
+end
+
+transition PayRent (parcel_id: Uint256, landlord: ByStr20)
+  owner_opt <- parcels[parcel_id];
+  match owner_opt with
+  | None =>
+    e = { _exception : "UnknownParcel" };
+    throw e
+  | Some owner =>
+    rightful = builtin eq owner landlord;
+    match rightful with
+    | False =>
+      e = { _exception : "WrongLandlord" };
+      throw e
+    | True =>
+      rent_opt <- rents[parcel_id];
+      rent = match rent_opt with
+             | Some r => r
+             | None => zero
+             end;
+      underpaid = builtin lt _amount rent;
+      match underpaid with
+      | True =>
+        e = { _exception : "RentUnderpaid" };
+        throw e
+      | False =>
+        accept;
+        owed_opt <- yield_owed[landlord];
+        new_owed = match owed_opt with
+                   | Some o => builtin add o _amount
+                   | None => _amount
+                   end;
+        yield_owed[landlord] := new_owed
+      end
+    end
+  end
+end
+
+transition CollectYield ()
+  owed_opt <- yield_owed[_sender];
+  match owed_opt with
+  | None =>
+    e = { _exception : "NothingOwed" };
+    throw e
+  | Some owed =>
+    delete yield_owed[_sender];
+    msg = { _tag : "YieldPayout"; _recipient : _sender; _amount : owed };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# ProxyContract: forwards calls to an upgradable implementation —
+# the forwarding target is read from state, so calls are unsummarisable.
+PROXY_CONTRACT = """
+scilla_version 0
+
+library ProxyContract
+
+let zero = Uint128 0
+
+contract ProxyContract (proxy_admin: ByStr20, initial_impl: ByStr20)
+
+field implementation : ByStr20 = initial_impl
+field forwarded : Uint128 = Uint128 0
+
+transition Forward (tag: String)
+  impl <- implementation;
+  n <- forwarded;
+  one = Uint128 1;
+  new_n = builtin add n one;
+  forwarded := new_n;
+  msg = { _tag : "ProxiedCall"; _recipient : impl; _amount : _amount;
+          original_sender : _sender; original_tag : tag };
+  msgs = one_msg msg;
+  send msgs
+end
+
+transition Upgrade (new_impl: ByStr20)
+  ok = builtin eq _sender proxy_admin;
+  match ok with
+  | False =>
+    e = { _exception : "NotProxyAdmin" };
+    throw e
+  | True =>
+    implementation := new_impl
+  end
+end
+"""
+
+# UD_operator_contract: per-user operator permissions for the registry.
+UD_OPERATOR_CONTRACT = """
+scilla_version 0
+
+library UDOperatorContract
+
+contract UDOperatorContract (registry: ByStr20)
+
+field permissions : Map ByStr20 (Map ByStr20 Bool) =
+  Emp ByStr20 (Map ByStr20 Bool)
+
+transition Allow (operator: ByStr20)
+  flag = True;
+  permissions[_sender][operator] := flag;
+  e = { _eventname : "OperatorAllowed"; operator : operator };
+  event e
+end
+
+transition Revoke (operator: ByStr20)
+  delete permissions[_sender][operator];
+  e = { _eventname : "OperatorRevoked"; operator : operator };
+  event e
+end
+"""
+
+# UD_resolver: record storage for one domain owner.
+UD_RESOLVER = """
+scilla_version 0
+
+library UDResolver
+
+contract UDResolver (resolver_owner: ByStr20, node: ByStr32)
+
+field records : Map String String = Emp String String
+
+procedure ThrowIfNotResolverOwner ()
+  ok = builtin eq _sender resolver_owner;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotResolverOwner" };
+    throw e
+  end
+end
+
+transition Set (key: String, value: String)
+  ThrowIfNotResolverOwner;
+  records[key] := value;
+  e = { _eventname : "RecordSet"; key : key };
+  event e
+end
+
+transition Unset (key: String)
+  ThrowIfNotResolverOwner;
+  present <- exists records[key];
+  match present with
+  | False =>
+    e = { _exception : "NoSuchRecord" };
+    throw e
+  | True =>
+    delete records[key];
+    e = { _eventname : "RecordUnset"; key : key };
+    event e
+  end
+end
+"""
+
+# UD_primitive_version: minimal name → address mapping.
+UD_PRIMITIVE_VERSION = """
+scilla_version 0
+
+library UDPrimitiveVersion
+
+contract UDPrimitiveVersion (registrar: ByStr20)
+
+field names : Map String ByStr20 = Emp String ByStr20
+
+transition Claim (name: String)
+  taken <- exists names[name];
+  match taken with
+  | True =>
+    e = { _exception : "NameTaken" };
+    throw e
+  | False =>
+    names[name] := _sender
+  end
+end
+
+transition Forfeit (name: String)
+  owner_opt <- names[name];
+  match owner_opt with
+  | None =>
+    e = { _exception : "NoSuchName" };
+    throw e
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | False =>
+      e = { _exception : "NotYourName" };
+      throw e
+    | True =>
+      delete names[name]
+    end
+  end
+end
+"""
+
+# UD_escrow: escrowed domain sales with buyer/seller settlement.
+UD_ESCROW = """
+scilla_version 0
+
+library UDEscrow
+
+let zero = Uint128 0
+
+contract UDEscrow (arbiter: ByStr20)
+
+field listings : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field asking_prices : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+field escrowed : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field escrow_amounts : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+transition ListDomain (node: ByStr32, price: Uint128)
+  taken <- exists listings[node];
+  match taken with
+  | True =>
+    e = { _exception : "AlreadyListed" };
+    throw e
+  | False =>
+    listings[node] := _sender;
+    asking_prices[node] := price
+  end
+end
+
+transition DepositPayment (node: ByStr32)
+  price_opt <- asking_prices[node];
+  match price_opt with
+  | None =>
+    e = { _exception : "NotListed" };
+    throw e
+  | Some price =>
+    underpaid = builtin lt _amount price;
+    match underpaid with
+    | True =>
+      e = { _exception : "Underpaid" };
+      throw e
+    | False =>
+      accept;
+      escrowed[node] := _sender;
+      escrow_amounts[node] := _amount
+    end
+  end
+end
+
+transition ReleaseToSeller (node: ByStr32)
+  ok = builtin eq _sender arbiter;
+  match ok with
+  | False =>
+    e = { _exception : "NotArbiter" };
+    throw e
+  | True =>
+    seller_opt <- listings[node];
+    amount_opt <- escrow_amounts[node];
+    match seller_opt with
+    | None =>
+      e = { _exception : "NotListed" };
+      throw e
+    | Some seller =>
+      amount = match amount_opt with
+               | Some a => a
+               | None => zero
+               end;
+      delete listings[node];
+      delete asking_prices[node];
+      delete escrowed[node];
+      delete escrow_amounts[node];
+      msg = { _tag : "EscrowRelease"; _recipient : seller;
+              _amount : amount };
+      msgs = one_msg msg;
+      send msgs
+    end
+  end
+end
+
+transition RefundBuyer (node: ByStr32)
+  ok = builtin eq _sender arbiter;
+  match ok with
+  | False =>
+    e = { _exception : "NotArbiter" };
+    throw e
+  | True =>
+    buyer_opt <- escrowed[node];
+    amount_opt <- escrow_amounts[node];
+    match buyer_opt with
+    | None =>
+      e = { _exception : "NothingEscrowed" };
+      throw e
+    | Some buyer =>
+      amount = match amount_opt with
+               | Some a => a
+               | None => zero
+               end;
+      delete escrowed[node];
+      delete escrow_amounts[node];
+      msg = { _tag : "EscrowRefund"; _recipient : buyer;
+              _amount : amount };
+      msgs = one_msg msg;
+      send msgs
+    end
+  end
+end
+"""
+
+# HelloWorld: the canonical first Scilla contract.
+HELLO_WORLD = """
+scilla_version 0
+
+library HelloWorld
+
+let hello = "Hello world!"
+
+contract HelloWorld (contract_owner: ByStr20)
+
+field welcome_msg : String = ""
+
+transition SetHello (msg: String)
+  is_owner = builtin eq _sender contract_owner;
+  match is_owner with
+  | False =>
+    e = { _exception : "NotOwner" };
+    throw e
+  | True =>
+    welcome_msg := msg;
+    e = { _eventname : "SetHello" };
+    event e
+  end
+end
+
+transition GetHello ()
+  greeting <- welcome_msg;
+  e = { _eventname : "GetHello"; msg : greeting };
+  event e
+end
+"""
+
+# Schnorr: signature verification playground.
+SCHNORR = """
+scilla_version 0
+
+library Schnorr
+
+contract Schnorr (trusted_key: ByStr)
+
+field verified_count : Uint64 = Uint64 0
+
+transition Verify (message: ByStr32, signature: ByStr32)
+  ok = builtin schnorr_verify trusted_key message signature;
+  match ok with
+  | False =>
+    e = { _exception : "BadSignature" };
+    throw e
+  | True =>
+    n <- verified_count;
+    one = Uint64 1;
+    new_n = builtin add n one;
+    verified_count := new_n;
+    e = { _eventname : "Verified"; message : message };
+    event e
+  end
+end
+"""
+
+# FirstContract: a counter everyone can bump.
+FIRST_CONTRACT = """
+scilla_version 0
+
+library FirstContract
+
+let one = Uint128 1
+
+contract FirstContract (deployer: ByStr20)
+
+field counter : Uint128 = Uint128 0
+
+transition Increment ()
+  c <- counter;
+  new_c = builtin add c one;
+  counter := new_c
+end
+"""
+
+# TestSender: sends notification messages around (zero funds).
+TEST_SENDER = """
+scilla_version 0
+
+library TestSender
+
+let zero = Uint128 0
+
+contract TestSender (buddy: ByStr20)
+
+field pings : Uint128 = Uint128 0
+
+transition Ping (target: ByStr20)
+  p <- pings;
+  one = Uint128 1;
+  new_p = builtin add p one;
+  pings := new_p;
+  msg = { _tag : "Ping"; _recipient : target; _amount : zero;
+          from : _sender };
+  msgs = one_msg msg;
+  send msgs
+end
+
+transition PingBuddy ()
+  p <- pings;
+  one = Uint128 1;
+  new_p = builtin add p one;
+  pings := new_p;
+  msg = { _tag : "Ping"; _recipient : buddy; _amount : zero;
+          from : _sender };
+  msgs = one_msg msg;
+  send msgs
+end
+"""

@@ -1,0 +1,960 @@
+"""Token-family corpus contracts (Fig. 12 names).
+
+Each is a genuinely distinct token design — capped supply, blacklist,
+fee-on-transfer, hub-and-spoke, bonding curve, burn-to-redeem — so the
+analysis sees a spread of summarisable and unsummarisable patterns.
+"""
+
+# Superplayer_token: a full game-economy token (15 transitions) —
+# fee-on-transfer, allowances, staking, bonuses, and administration.
+SUPERPLAYER_TOKEN = """
+scilla_version 0
+
+library SuperplayerToken
+
+let zero = Uint128 0
+let fee = Uint128 2
+
+contract SuperplayerToken (house: ByStr20, init_supply: Uint128)
+
+field balances : Map ByStr20 Uint128 =
+  let emp = Emp ByStr20 Uint128 in
+  builtin put emp house init_supply
+
+field allowances : Map ByStr20 (Map ByStr20 Uint128) =
+  Emp ByStr20 (Map ByStr20 Uint128)
+field stakes : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field reward_points : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field house_cut : Uint128 = Uint128 0
+field total_staked : Uint128 = Uint128 0
+field manager : ByStr20 = house
+field bonus_rate : Uint128 = Uint128 1
+field paused : Bool = False
+
+(* ------------------------------------------------------------------ *)
+
+procedure ThrowIfNotHouse ()
+  ok = builtin eq _sender house;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotHouse" };
+    throw e
+  end
+end
+
+procedure ThrowIfNotManager ()
+  m <- manager;
+  ok = builtin eq _sender m;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotManager" };
+    throw e
+  end
+end
+
+procedure ThrowIfPaused ()
+  p <- paused;
+  match p with
+  | True =>
+    e = { _exception : "Paused" };
+    throw e
+  | False =>
+  end
+end
+
+procedure Debit (from: ByStr20, amount: Uint128)
+  bal_opt <- balances[from];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_bal = builtin sub bal amount;
+    balances[from] := new_bal
+  end
+end
+
+procedure Credit (to: ByStr20, amount: Uint128)
+  bal_opt <- balances[to];
+  new_bal = match bal_opt with
+            | Some b => builtin add b amount
+            | None => amount
+            end;
+  balances[to] := new_bal
+end
+
+(* ------------------------------------------------------------------ *)
+(* Token operations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+transition Transfer (to: ByStr20, amount: Uint128)
+  bal_opt <- balances[_sender];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  total = builtin add amount fee;
+  insufficient = builtin lt bal total;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_from = builtin sub bal total;
+    balances[_sender] := new_from;
+    Credit to amount;
+    cut <- house_cut;
+    new_cut = builtin add cut fee;
+    house_cut := new_cut
+  end
+end
+
+transition TransferFrom (from: ByStr20, to: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  allow_opt <- allowances[from][_sender];
+  allow = match allow_opt with
+          | Some a => a
+          | None => zero
+          end;
+  short = builtin lt allow amount;
+  match short with
+  | True =>
+    e = { _exception : "InsufficientAllowance" };
+    throw e
+  | False =>
+    new_allow = builtin sub allow amount;
+    allowances[from][_sender] := new_allow;
+    Debit from amount;
+    Credit to amount
+  end
+end
+
+transition IncreaseAllowance (spender: ByStr20, amount: Uint128)
+  cur_opt <- allowances[_sender][spender];
+  new_allow = match cur_opt with
+              | Some a => builtin add a amount
+              | None => amount
+              end;
+  allowances[_sender][spender] := new_allow
+end
+
+transition DecreaseAllowance (spender: ByStr20, amount: Uint128)
+  cur_opt <- allowances[_sender][spender];
+  cur = match cur_opt with
+        | Some a => a
+        | None => zero
+        end;
+  too_much = builtin lt cur amount;
+  match too_much with
+  | True =>
+    e = { _exception : "AllowanceBelowZero" };
+    throw e
+  | False =>
+    new_allow = builtin sub cur amount;
+    allowances[_sender][spender] := new_allow
+  end
+end
+
+transition Mint (to: ByStr20, amount: Uint128)
+  ThrowIfNotHouse;
+  Credit to amount
+end
+
+transition Burn (amount: Uint128)
+  ThrowIfPaused;
+  Debit _sender amount
+end
+
+(* ------------------------------------------------------------------ *)
+(* Game economy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+transition Stake (amount: Uint128)
+  ThrowIfPaused;
+  Debit _sender amount;
+  st_opt <- stakes[_sender];
+  new_st = match st_opt with
+           | Some st => builtin add st amount
+           | None => amount
+           end;
+  stakes[_sender] := new_st;
+  t <- total_staked;
+  new_t = builtin add t amount;
+  total_staked := new_t
+end
+
+transition Unstake (amount: Uint128)
+  st_opt <- stakes[_sender];
+  st = match st_opt with
+       | Some v => v
+       | None => zero
+       end;
+  short = builtin lt st amount;
+  match short with
+  | True =>
+    e = { _exception : "NotEnoughStaked" };
+    throw e
+  | False =>
+    new_st = builtin sub st amount;
+    stakes[_sender] := new_st;
+    t <- total_staked;
+    new_t = builtin sub t amount;
+    total_staked := new_t;
+    Credit _sender amount
+  end
+end
+
+transition AwardBonus (player: ByStr20, points: Uint128)
+  ThrowIfNotManager;
+  rate <- bonus_rate;
+  scaled = builtin mul points rate;
+  rp_opt <- reward_points[player];
+  new_rp = match rp_opt with
+           | Some rp => builtin add rp scaled
+           | None => scaled
+           end;
+  reward_points[player] := new_rp
+end
+
+transition RedeemPoints (points: Uint128)
+  rp_opt <- reward_points[_sender];
+  rp = match rp_opt with
+       | Some v => v
+       | None => zero
+       end;
+  short = builtin lt rp points;
+  match short with
+  | True =>
+    e = { _exception : "NotEnoughPoints" };
+    throw e
+  | False =>
+    new_rp = builtin sub rp points;
+    reward_points[_sender] := new_rp;
+    Credit _sender points
+  end
+end
+
+transition CollectHouseCut ()
+  ThrowIfNotHouse;
+  cut <- house_cut;
+  Credit house cut;
+  house_cut := zero
+end
+
+(* ------------------------------------------------------------------ *)
+(* Administration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+transition SetManager (new_manager: ByStr20)
+  ThrowIfNotHouse;
+  manager := new_manager
+end
+
+transition SetBonusRate (rate: Uint128)
+  ThrowIfNotManager;
+  bonus_rate := rate
+end
+
+transition PauseGame ()
+  ThrowIfNotManager;
+  flag = True;
+  paused := flag
+end
+
+transition UnpauseGame ()
+  ThrowIfNotManager;
+  flag = False;
+  paused := flag
+end
+"""
+
+# OTS200: a token with per-holder transfer locks until a block number.
+OTS200 = """
+scilla_version 0
+
+library OTS200
+
+let zero = Uint128 0
+
+contract OTS200 (admin: ByStr20)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field locks : Map ByStr20 BNum = Emp ByStr20 BNum
+
+procedure ThrowIfLocked ()
+  lock_opt <- locks[_sender];
+  match lock_opt with
+  | None =>
+  | Some until =>
+    blk <- & BLOCKNUMBER;
+    still_locked = builtin blt blk until;
+    match still_locked with
+    | True =>
+      e = { _exception : "TokensLocked" };
+      throw e
+    | False =>
+    end
+  end
+end
+
+transition Grant (to: ByStr20, amount: Uint128, lock_until: BNum)
+  ok = builtin eq _sender admin;
+  match ok with
+  | False =>
+    e = { _exception : "NotAdmin" };
+    throw e
+  | True =>
+    bal_opt <- balances[to];
+    new_bal = match bal_opt with
+              | Some b => builtin add b amount
+              | None => amount
+              end;
+    balances[to] := new_bal;
+    locks[to] := lock_until
+  end
+end
+
+transition Transfer (to: ByStr20, amount: Uint128)
+  ThrowIfLocked;
+  bal_opt <- balances[_sender];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_from = builtin sub bal amount;
+    balances[_sender] := new_from;
+    to_opt <- balances[to];
+    new_to = match to_opt with
+             | Some b => builtin add b amount
+             | None => amount
+             end;
+    balances[to] := new_to
+  end
+end
+"""
+
+# Hybrid_Euro: mint/burn pegged token with reserve ratio check.
+HYBRID_EURO = """
+scilla_version 0
+
+library HybridEuro
+
+let zero = Uint128 0
+let hundred = Uint128 100
+
+contract HybridEuro (treasurer: ByStr20, reserve_ratio: Uint128)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field supply : Uint128 = Uint128 0
+field reserves : Uint128 = Uint128 0
+
+procedure ThrowIfNotTreasurer ()
+  ok = builtin eq _sender treasurer;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotTreasurer" };
+    throw e
+  end
+end
+
+transition DepositReserves ()
+  ThrowIfNotTreasurer;
+  accept;
+  r <- reserves;
+  new_r = builtin add r _amount;
+  reserves := new_r
+end
+
+transition MintEuro (to: ByStr20, amount: Uint128)
+  ThrowIfNotTreasurer;
+  s <- supply;
+  r <- reserves;
+  new_s = builtin add s amount;
+  required = builtin mul new_s reserve_ratio;
+  required_scaled = builtin div required hundred;
+  under_reserved = builtin lt r required_scaled;
+  match under_reserved with
+  | True =>
+    e = { _exception : "InsufficientReserves" };
+    throw e
+  | False =>
+    supply := new_s;
+    bal_opt <- balances[to];
+    new_bal = match bal_opt with
+              | Some b => builtin add b amount
+              | None => amount
+              end;
+    balances[to] := new_bal
+  end
+end
+
+transition Transfer (to: ByStr20, amount: Uint128)
+  bal_opt <- balances[_sender];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_from = builtin sub bal amount;
+    balances[_sender] := new_from;
+    to_opt <- balances[to];
+    new_to = match to_opt with
+             | Some b => builtin add b amount
+             | None => amount
+             end;
+    balances[to] := new_to
+  end
+end
+"""
+
+# Zeecash: privacy-flavoured token — commitments registry plus pool.
+ZEECASH = """
+scilla_version 0
+
+library Zeecash
+
+let zero = Uint128 0
+let true = True
+
+contract Zeecash (operator: ByStr20, denomination: Uint128)
+
+field commitments : Map ByStr32 Bool = Emp ByStr32 Bool
+field nullifiers : Map ByStr32 Bool = Emp ByStr32 Bool
+field pool : Uint128 = Uint128 0
+
+transition Shield (commitment: ByStr32)
+  known <- exists commitments[commitment];
+  match known with
+  | True =>
+    e = { _exception : "DuplicateCommitment" };
+    throw e
+  | False =>
+    accept;
+    wrong_amount = builtin eq _amount denomination;
+    match wrong_amount with
+    | False =>
+      e = { _exception : "WrongDenomination" };
+      throw e
+    | True =>
+      commitments[commitment] := true;
+      p <- pool;
+      new_pool = builtin add p denomination;
+      pool := new_pool
+    end
+  end
+end
+
+transition Unshield (nullifier: ByStr32, recipient: ByStr20)
+  spent <- exists nullifiers[nullifier];
+  match spent with
+  | True =>
+    e = { _exception : "DoubleSpend" };
+    throw e
+  | False =>
+    nullifiers[nullifier] := true;
+    p <- pool;
+    new_pool = builtin sub p denomination;
+    pool := new_pool;
+    msg = { _tag : "UnshieldPayout"; _recipient : recipient;
+            _amount : denomination };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# DPSTokenHub: hub distributing rewards to many game token pools.
+DPS_TOKEN_HUB = """
+scilla_version 0
+
+library DPSTokenHub
+
+let zero = Uint128 0
+
+contract DPSTokenHub (game_master: ByStr20)
+
+field pools : Map String Uint128 = Emp String Uint128
+field player_rewards : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field paused : Bool = False
+
+procedure ThrowIfNotGameMaster ()
+  ok = builtin eq _sender game_master;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotGameMaster" };
+    throw e
+  end
+end
+
+procedure ThrowIfPaused ()
+  p <- paused;
+  match p with
+  | True =>
+    e = { _exception : "Paused" };
+    throw e
+  | False =>
+  end
+end
+
+transition FundPool (pool_name: String, amount: Uint128)
+  ThrowIfNotGameMaster;
+  pool_opt <- pools[pool_name];
+  new_pool = match pool_opt with
+             | Some p => builtin add p amount
+             | None => amount
+             end;
+  pools[pool_name] := new_pool
+end
+
+transition AwardPlayer (pool_name: String, player: ByStr20, amount: Uint128)
+  ThrowIfNotGameMaster;
+  ThrowIfPaused;
+  pool_opt <- pools[pool_name];
+  pool = match pool_opt with
+         | Some p => p
+         | None => zero
+         end;
+  insufficient = builtin lt pool amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "PoolExhausted" };
+    throw e
+  | False =>
+    new_pool = builtin sub pool amount;
+    pools[pool_name] := new_pool;
+    reward_opt <- player_rewards[player];
+    new_reward = match reward_opt with
+                 | Some r => builtin add r amount
+                 | None => amount
+                 end;
+    player_rewards[player] := new_reward
+  end
+end
+
+transition SetPaused (value: Bool)
+  ThrowIfNotGameMaster;
+  paused := value
+end
+"""
+
+# SimpleBondingCurve: price grows with supply; buy/sell against curve.
+SIMPLE_BONDING_CURVE = """
+scilla_version 0
+
+library SimpleBondingCurve
+
+let zero = Uint128 0
+let one = Uint128 1
+
+contract SimpleBondingCurve (creator: ByStr20, base_price: Uint128)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field supply : Uint128 = Uint128 0
+
+transition Buy ()
+  s <- supply;
+  price = builtin add base_price s;
+  enough = builtin lt _amount price;
+  match enough with
+  | True =>
+    e = { _exception : "PriceNotMet" };
+    throw e
+  | False =>
+    accept;
+    new_supply = builtin add s one;
+    supply := new_supply;
+    bal_opt <- balances[_sender];
+    new_bal = match bal_opt with
+              | Some b => builtin add b one
+              | None => one
+              end;
+    balances[_sender] := new_bal
+  end
+end
+
+transition Sell (amount: Uint128)
+  bal_opt <- balances[_sender];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientTokens" };
+    throw e
+  | False =>
+    new_bal = builtin sub bal amount;
+    balances[_sender] := new_bal;
+    s <- supply;
+    new_supply = builtin sub s amount;
+    supply := new_supply;
+    payout = builtin mul amount base_price;
+    msg = { _tag : "SellPayout"; _recipient : _sender;
+            _amount : payout };
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+"""
+
+# MyRewardsToken: merchants grant points; customers redeem in-store.
+MY_REWARDS_TOKEN = """
+scilla_version 0
+
+library MyRewardsToken
+
+let zero = Uint128 0
+
+contract MyRewardsToken (brand: ByStr20)
+
+field points : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field merchants : Map ByStr20 Bool = Emp ByStr20 Bool
+field total_issued : Uint128 = Uint128 0
+
+procedure ThrowIfNotMerchant ()
+  ok <- exists merchants[_sender];
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotMerchant" };
+    throw e
+  end
+end
+
+transition AddMerchant (merchant: ByStr20)
+  ok = builtin eq _sender brand;
+  match ok with
+  | False =>
+    e = { _exception : "NotBrand" };
+    throw e
+  | True =>
+    flag = True;
+    merchants[merchant] := flag
+  end
+end
+
+transition GrantPoints (customer: ByStr20, amount: Uint128)
+  ThrowIfNotMerchant;
+  p_opt <- points[customer];
+  new_points = match p_opt with
+               | Some p => builtin add p amount
+               | None => amount
+               end;
+  points[customer] := new_points;
+  t <- total_issued;
+  new_total = builtin add t amount;
+  total_issued := new_total
+end
+
+transition RedeemPoints (amount: Uint128)
+  p_opt <- points[_sender];
+  p = match p_opt with
+      | Some v => v
+      | None => zero
+      end;
+  insufficient = builtin lt p amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientPoints" };
+    throw e
+  | False =>
+    new_points = builtin sub p amount;
+    points[_sender] := new_points;
+    e = { _eventname : "Redeemed"; customer : _sender; amount : amount };
+    event e
+  end
+end
+"""
+
+# ZKToken: transfers authorised by a (stand-in) Schnorr signature.
+ZK_TOKEN = """
+scilla_version 0
+
+library ZKToken
+
+let zero = Uint128 0
+
+contract ZKToken (verifier_key: ByStr)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field used_proofs : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition Deposit ()
+  accept;
+  bal_opt <- balances[_sender];
+  new_bal = match bal_opt with
+            | Some b => builtin add b _amount
+            | None => _amount
+            end;
+  balances[_sender] := new_bal
+end
+
+transition ProvenTransfer (to: ByStr20, amount: Uint128,
+                           proof_id: ByStr32, proof: ByStr32)
+  seen <- exists used_proofs[proof_id];
+  match seen with
+  | True =>
+    e = { _exception : "ProofReplayed" };
+    throw e
+  | False =>
+    valid = builtin schnorr_verify verifier_key proof_id proof;
+    match valid with
+    | False =>
+      e = { _exception : "InvalidProof" };
+      throw e
+    | True =>
+      flag = True;
+      used_proofs[proof_id] := flag;
+      bal_opt <- balances[_sender];
+      bal = match bal_opt with
+            | Some b => b
+            | None => zero
+            end;
+      insufficient = builtin lt bal amount;
+      match insufficient with
+      | True =>
+        e = { _exception : "InsufficientFunds" };
+        throw e
+      | False =>
+        new_from = builtin sub bal amount;
+        balances[_sender] := new_from;
+        to_opt <- balances[to];
+        new_to = match to_opt with
+                 | Some b => builtin add b amount
+                 | None => amount
+                 end;
+        balances[to] := new_to
+      end
+    end
+  end
+end
+"""
+
+# LUY_Cambodia: remittance token with daily caps per corridor agent.
+LUY_CAMBODIA = """
+scilla_version 0
+
+library LUYCambodia
+
+let zero = Uint128 0
+
+contract LUYCambodia (central_agent: ByStr20, daily_cap: Uint128)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field sent_today : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition IssueLUY (agent: ByStr20, amount: Uint128)
+  ok = builtin eq _sender central_agent;
+  match ok with
+  | False =>
+    e = { _exception : "NotCentralAgent" };
+    throw e
+  | True =>
+    bal_opt <- balances[agent];
+    new_bal = match bal_opt with
+              | Some b => builtin add b amount
+              | None => amount
+              end;
+    balances[agent] := new_bal
+  end
+end
+
+transition Remit (to: ByStr20, amount: Uint128)
+  sent_opt <- sent_today[_sender];
+  sent = match sent_opt with
+         | Some s => s
+         | None => zero
+         end;
+  new_sent = builtin add sent amount;
+  over_cap = builtin lt daily_cap new_sent;
+  match over_cap with
+  | True =>
+    e = { _exception : "DailyCapExceeded" };
+    throw e
+  | False =>
+    sent_today[_sender] := new_sent;
+    bal_opt <- balances[_sender];
+    bal = match bal_opt with
+          | Some b => b
+          | None => zero
+          end;
+    insufficient = builtin lt bal amount;
+    match insufficient with
+    | True =>
+      e = { _exception : "InsufficientFunds" };
+      throw e
+    | False =>
+      new_from = builtin sub bal amount;
+      balances[_sender] := new_from;
+      to_opt <- balances[to];
+      new_to = match to_opt with
+               | Some b => builtin add b amount
+               | None => amount
+               end;
+      balances[to] := new_to
+    end
+  end
+end
+
+transition ResetDay (agent: ByStr20)
+  ok = builtin eq _sender central_agent;
+  match ok with
+  | False =>
+    e = { _exception : "NotCentralAgent" };
+    throw e
+  | True =>
+    delete sent_today[agent]
+  end
+end
+"""
+
+# OceanRumble_minion_token: game items as fungible minion stacks.
+OCEAN_RUMBLE_MINION_TOKEN = """
+scilla_version 0
+
+library OceanRumbleMinionToken
+
+let zero = Uint128 0
+
+contract OceanRumbleMinionToken (game: ByStr20)
+
+field minions : Map ByStr20 (Map Uint32 Uint128) =
+  Emp ByStr20 (Map Uint32 Uint128)
+
+transition AwardMinions (player: ByStr20, kind: Uint32, count: Uint128)
+  ok = builtin eq _sender game;
+  match ok with
+  | False =>
+    e = { _exception : "NotGame" };
+    throw e
+  | True =>
+    have_opt <- minions[player][kind];
+    new_count = match have_opt with
+                | Some c => builtin add c count
+                | None => count
+                end;
+    minions[player][kind] := new_count
+  end
+end
+
+transition SacrificeMinions (kind: Uint32, count: Uint128)
+  have_opt <- minions[_sender][kind];
+  have = match have_opt with
+         | Some c => c
+         | None => zero
+         end;
+  insufficient = builtin lt have count;
+  match insufficient with
+  | True =>
+    e = { _exception : "NotEnoughMinions" };
+    throw e
+  | False =>
+    new_count = builtin sub have count;
+    minions[_sender][kind] := new_count;
+    e = { _eventname : "Sacrificed"; kind : kind; count : count };
+    event e
+  end
+end
+
+transition GiftMinions (to: ByStr20, kind: Uint32, count: Uint128)
+  have_opt <- minions[_sender][kind];
+  have = match have_opt with
+         | Some c => c
+         | None => zero
+         end;
+  insufficient = builtin lt have count;
+  match insufficient with
+  | True =>
+    e = { _exception : "NotEnoughMinions" };
+    throw e
+  | False =>
+    new_count = builtin sub have count;
+    minions[_sender][kind] := new_count;
+    theirs_opt <- minions[to][kind];
+    new_theirs = match theirs_opt with
+                 | Some c => builtin add c count
+                 | None => count
+                 end;
+    minions[to][kind] := new_theirs
+  end
+end
+"""
+
+# Cryptoman: collectible packs bought with native token.
+CRYPTOMAN = """
+scilla_version 0
+
+library Cryptoman
+
+let zero = Uint128 0
+let pack_size = Uint128 3
+
+contract Cryptoman (publisher: ByStr20, pack_price: Uint128)
+
+field collection : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field packs_sold : Uint128 = Uint128 0
+
+transition BuyPack ()
+  underpaid = builtin lt _amount pack_price;
+  match underpaid with
+  | True =>
+    e = { _exception : "Underpaid" };
+    throw e
+  | False =>
+    accept;
+    have_opt <- collection[_sender];
+    new_have = match have_opt with
+               | Some c => builtin add c pack_size
+               | None => pack_size
+               end;
+    collection[_sender] := new_have;
+    sold <- packs_sold;
+    new_sold = builtin add sold pack_size;
+    packs_sold := new_sold
+  end
+end
+
+transition TradeCard (to: ByStr20, count: Uint128)
+  have_opt <- collection[_sender];
+  have = match have_opt with
+         | Some c => c
+         | None => zero
+         end;
+  insufficient = builtin lt have count;
+  match insufficient with
+  | True =>
+    e = { _exception : "NotEnoughCards" };
+    throw e
+  | False =>
+    new_have = builtin sub have count;
+    collection[_sender] := new_have;
+    theirs_opt <- collection[to];
+    new_theirs = match theirs_opt with
+                 | Some c => builtin add c count
+                 | None => count
+                 end;
+    collection[to] := new_theirs
+  end
+end
+"""

@@ -1,0 +1,128 @@
+"""Crowdfunding — the classic Scilla campaign contract.
+
+Three transitions; the only possible sharding selection is
+{Donate, ClaimBack} (GetFunds notifies the beneficiary read from a
+field, which the analysis cannot summarise).  ``raised`` is an
+IntMerge field whose reads in ClaimBack are weak (monotone: other
+shards can only increase it).
+"""
+
+CROWDFUNDING = """
+scilla_version 0
+
+library Crowdfunding
+
+let zero = Uint128 0
+
+let one_msg = fun (msg: Message) =>
+  let nil_msg = Nil {Message} in
+  Cons {Message} msg nil_msg
+
+contract Crowdfunding
+(
+  campaign_owner: ByStr20,
+  goal: Uint128,
+  deadline: BNum
+)
+
+field backers : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field beneficiary : ByStr20 = campaign_owner
+field raised : Uint128 = Uint128 0
+field collected : Bool = False
+
+procedure ThrowIfAfterDeadline ()
+  blk <- & BLOCKNUMBER;
+  after = builtin blt deadline blk;
+  match after with
+  | True =>
+    e = { _exception : "DeadlinePassed" };
+    throw e
+  | False =>
+  end
+end
+
+transition Donate ()
+  ThrowIfAfterDeadline;
+  already <- exists backers[_sender];
+  match already with
+  | True =>
+    e = { _exception : "AlreadyBacked" };
+    throw e
+  | False =>
+    accept;
+    backers[_sender] := _amount;
+    r <- raised;
+    new_raised = builtin add r _amount;
+    raised := new_raised;
+    e = { _eventname : "DonationReceived"; donor : _sender;
+          amount : _amount };
+    event e
+  end
+end
+
+transition GetFunds ()
+  is_owner = builtin eq _sender campaign_owner;
+  match is_owner with
+  | False =>
+    e = { _exception : "NotCampaignOwner" };
+    throw e
+  | True =>
+    blk <- & BLOCKNUMBER;
+    before = builtin blt blk deadline;
+    match before with
+    | True =>
+      e = { _exception : "CampaignStillRunning" };
+      throw e
+    | False =>
+      r <- raised;
+      failed = builtin lt r goal;
+      match failed with
+      | True =>
+        e = { _exception : "GoalNotReached" };
+        throw e
+      | False =>
+        done = True;
+        collected := done;
+        payout_target <- beneficiary;
+        msg = { _tag : "CampaignFunds"; _recipient : payout_target;
+                _amount : r };
+        msgs = one_msg msg;
+        send msgs
+      end
+    end
+  end
+end
+
+transition ClaimBack ()
+  blk <- & BLOCKNUMBER;
+  before = builtin blt blk deadline;
+  match before with
+  | True =>
+    e = { _exception : "CampaignStillRunning" };
+    throw e
+  | False =>
+    r <- raised;
+    reached = builtin lt r goal;
+    match reached with
+    | False =>
+      e = { _exception : "GoalReached" };
+      throw e
+    | True =>
+      donation_opt <- backers[_sender];
+      match donation_opt with
+      | None =>
+        e = { _exception : "NotABacker" };
+        throw e
+      | Some donation =>
+        delete backers[_sender];
+        new_raised = builtin sub r donation;
+        raised := new_raised;
+        msg = { _tag : "Refund"; _recipient : _sender;
+                _amount : donation };
+        msgs = one_msg msg;
+        send msgs
+      end
+    end
+  end
+end
+"""

@@ -1,0 +1,239 @@
+"""FungibleToken — Zilliqa's ERC20 equivalent (ZRC-2 style).
+
+The paper's headline contract: 10 transitions, of which the 6 token
+operations form the largest good-enough signature ({Mint, Burn,
+Transfer, TransferFrom, IncreaseAllowance, DecreaseAllowance}); the
+administrative transitions hog the configuration fields.  The paper's
+evaluation shards Mint, Transfer and TransferFrom.
+"""
+
+FUNGIBLE_TOKEN = """
+scilla_version 0
+
+library FungibleToken
+
+let zero = Uint128 0
+
+let one_msg = fun (msg: Message) =>
+  let nil_msg = Nil {Message} in
+  Cons {Message} msg nil_msg
+
+contract FungibleToken
+(
+  contract_owner: ByStr20,
+  name: String,
+  symbol: String,
+  decimals: Uint32,
+  init_supply: Uint128
+)
+
+field total_supply : Uint128 = init_supply
+
+field balances : Map ByStr20 Uint128 =
+  let emp = Emp ByStr20 Uint128 in
+  builtin put emp contract_owner init_supply
+
+field allowances : Map ByStr20 (Map ByStr20 Uint128) =
+  Emp ByStr20 (Map ByStr20 Uint128)
+
+field owner : ByStr20 = contract_owner
+field treasury : ByStr20 = contract_owner
+field paused : Bool = False
+
+(* ------------------------------------------------------------------ *)
+(* Access-control and safety procedures                               *)
+(* ------------------------------------------------------------------ *)
+
+procedure ThrowIfPaused ()
+  p <- paused;
+  match p with
+  | True =>
+    e = { _exception : "ContractPaused" };
+    throw e
+  | False =>
+  end
+end
+
+procedure ThrowIfNotOwner ()
+  current_owner <- owner;
+  is_owner = builtin eq _sender current_owner;
+  match is_owner with
+  | True =>
+  | False =>
+    e = { _exception : "NotOwner" };
+    throw e
+  end
+end
+
+procedure MoveBalance (from: ByStr20, to: ByStr20, amount: Uint128)
+  bal_opt <- balances[from];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_from_bal = builtin sub bal amount;
+    balances[from] := new_from_bal;
+    to_bal_opt <- balances[to];
+    new_to_bal = match to_bal_opt with
+                 | Some b => builtin add b amount
+                 | None => amount
+                 end;
+    balances[to] := new_to_bal
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Token transitions (the shardable core)                             *)
+(* ------------------------------------------------------------------ *)
+
+transition Mint (recipient: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  ThrowIfNotOwner;
+  bal_opt <- balances[recipient];
+  new_bal = match bal_opt with
+            | Some b => builtin add b amount
+            | None => amount
+            end;
+  balances[recipient] := new_bal;
+  supply <- total_supply;
+  new_supply = builtin add supply amount;
+  total_supply := new_supply;
+  e = { _eventname : "Minted"; minter : _sender;
+        recipient : recipient; amount : amount };
+  event e
+end
+
+transition Burn (amount: Uint128)
+  ThrowIfPaused;
+  bal_opt <- balances[_sender];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_bal = builtin sub bal amount;
+    balances[_sender] := new_bal;
+    supply <- total_supply;
+    new_supply = builtin sub supply amount;
+    total_supply := new_supply;
+    ev = { _eventname : "Burnt"; burner : _sender; amount : amount };
+    event ev
+  end
+end
+
+transition Transfer (to: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  MoveBalance _sender to amount;
+  e = { _eventname : "TransferSuccess"; sender : _sender;
+        recipient : to; amount : amount };
+  event e;
+  msg_to_recipient = { _tag : "RecipientAcceptTransfer"; _recipient : to;
+                       _amount : zero; sender : _sender; amount : amount };
+  msgs = one_msg msg_to_recipient;
+  send msgs
+end
+
+transition TransferFrom (from: ByStr20, to: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  allowance_opt <- allowances[from][_sender];
+  allowance = match allowance_opt with
+              | Some a => a
+              | None => zero
+              end;
+  not_allowed = builtin lt allowance amount;
+  match not_allowed with
+  | True =>
+    e = { _exception : "InsufficientAllowance" };
+    throw e
+  | False =>
+    new_allowance = builtin sub allowance amount;
+    allowances[from][_sender] := new_allowance;
+    MoveBalance from to amount;
+    e = { _eventname : "TransferFromSuccess"; initiator : _sender;
+          sender : from; recipient : to; amount : amount };
+    event e
+  end
+end
+
+transition IncreaseAllowance (spender: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  current_opt <- allowances[_sender][spender];
+  new_allowance = match current_opt with
+                  | Some a => builtin add a amount
+                  | None => amount
+                  end;
+  allowances[_sender][spender] := new_allowance;
+  e = { _eventname : "IncreasedAllowance"; token_owner : _sender;
+        spender : spender; new_allowance : new_allowance };
+  event e
+end
+
+transition DecreaseAllowance (spender: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  current_opt <- allowances[_sender][spender];
+  current = match current_opt with
+            | Some a => a
+            | None => zero
+            end;
+  too_much = builtin lt current amount;
+  match too_much with
+  | True =>
+    e = { _exception : "AllowanceBelowZero" };
+    throw e
+  | False =>
+    new_allowance = builtin sub current amount;
+    allowances[_sender][spender] := new_allowance;
+    e = { _eventname : "DecreasedAllowance"; token_owner : _sender;
+          spender : spender; new_allowance : new_allowance };
+    event e
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Administrative transitions                                          *)
+(* ------------------------------------------------------------------ *)
+
+transition Pause ()
+  ThrowIfNotOwner;
+  new_state = True;
+  paused := new_state;
+  e = { _eventname : "Paused" };
+  event e
+end
+
+transition Unpause ()
+  ThrowIfNotOwner;
+  new_state = False;
+  paused := new_state;
+  e = { _eventname : "Unpaused" };
+  event e
+end
+
+transition ChangeOwner (new_owner: ByStr20)
+  ThrowIfNotOwner;
+  owner := new_owner;
+  e = { _eventname : "OwnerChanged"; new_owner : new_owner };
+  event e
+end
+
+transition ChangeTreasury (new_treasury: ByStr20)
+  ThrowIfNotOwner;
+  old_treasury <- treasury;
+  treasury := new_treasury;
+  msg = { _tag : "TreasuryChanged"; _recipient : old_treasury;
+          _amount : zero; new_treasury : new_treasury };
+  msgs = one_msg msg;
+  send msgs
+end
+"""

@@ -1,0 +1,182 @@
+"""NonfungibleToken — Zilliqa's ERC-721 equivalent (ZRC-1 style).
+
+Five transitions.  Transfer follows the paper's Sec. 6 rewrite: the
+token owner is a *parameter* checked compare-and-swap style against
+the state, so every state component it touches is keyed by the token
+id and the transition shards cleanly.  Approve keeps the original
+pattern the paper calls out as unshardable: it maintains an index
+keyed by the owner *read from the contract state*, which the analysis
+cannot summarise (⊥).
+"""
+
+NONFUNGIBLE_TOKEN = """
+scilla_version 0
+
+library NonfungibleToken
+
+let zero = Uint128 0
+let one = Uint128 1
+
+contract NonfungibleToken
+(
+  contract_owner: ByStr20,
+  name: String,
+  symbol: String
+)
+
+field minter : ByStr20 = contract_owner
+field token_owners : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+field owned_token_count : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field token_approvals : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+field approvals_index : Map ByStr20 (Map Uint256 ByStr20) =
+  Emp ByStr20 (Map Uint256 ByStr20)
+field total_tokens : Uint128 = Uint128 0
+
+procedure ThrowIfNotMinter ()
+  m <- minter;
+  is_minter = builtin eq _sender m;
+  match is_minter with
+  | True =>
+  | False =>
+    e = { _exception : "NotMinter" };
+    throw e
+  end
+end
+
+procedure IncrementCount (holder: ByStr20)
+  count_opt <- owned_token_count[holder];
+  new_count = match count_opt with
+              | Some c => builtin add c one
+              | None => one
+              end;
+  owned_token_count[holder] := new_count
+end
+
+procedure DecrementCount (holder: ByStr20)
+  count_opt <- owned_token_count[holder];
+  new_count = match count_opt with
+              | Some c => builtin sub c one
+              | None => zero
+              end;
+  owned_token_count[holder] := new_count
+end
+
+transition Mint (to: ByStr20, token_id: Uint256)
+  ThrowIfNotMinter;
+  taken <- exists token_owners[token_id];
+  match taken with
+  | True =>
+    e = { _exception : "TokenExists" };
+    throw e
+  | False =>
+    token_owners[token_id] := to;
+    IncrementCount to;
+    count <- total_tokens;
+    new_total = builtin add count one;
+    total_tokens := new_total;
+    e = { _eventname : "MintSuccess"; to : to; token_id : token_id };
+    event e
+  end
+end
+
+transition Transfer (token_owner: ByStr20, to: ByStr20, token_id: Uint256)
+  (* Compare-and-swap rewrite (Sec. 6): the caller supplies the owner
+     and the transition verifies it against the state. *)
+  owner_opt <- token_owners[token_id];
+  match owner_opt with
+  | None =>
+    e = { _exception : "TokenNotFound" };
+    throw e
+  | Some actual_owner =>
+    owner_matches = builtin eq actual_owner token_owner;
+    approved_opt <- token_approvals[token_id];
+    approved = match approved_opt with
+               | Some spender => builtin eq spender _sender
+               | None => False
+               end;
+    is_owner = builtin eq _sender token_owner;
+    authorized = orb is_owner approved;
+    allowed = andb owner_matches authorized;
+    match allowed with
+    | False =>
+      e = { _exception : "NotAuthorized" };
+      throw e
+    | True =>
+      token_owners[token_id] := to;
+      delete token_approvals[token_id];
+      DecrementCount token_owner;
+      IncrementCount to;
+      e = { _eventname : "TransferSuccess"; from : token_owner;
+            to : to; token_id : token_id };
+      event e
+    end
+  end
+end
+
+transition Burn (token_owner: ByStr20, token_id: Uint256)
+  owner_opt <- token_owners[token_id];
+  match owner_opt with
+  | None =>
+    e = { _exception : "TokenNotFound" };
+    throw e
+  | Some actual_owner =>
+    owner_matches = builtin eq actual_owner token_owner;
+    is_owner = builtin eq _sender token_owner;
+    allowed = andb owner_matches is_owner;
+    match allowed with
+    | False =>
+      e = { _exception : "NotAuthorized" };
+      throw e
+    | True =>
+      delete token_owners[token_id];
+      delete token_approvals[token_id];
+      DecrementCount token_owner;
+      count <- total_tokens;
+      new_total = builtin sub count one;
+      total_tokens := new_total;
+      e = { _eventname : "BurnSuccess"; from : token_owner;
+            token_id : token_id };
+      event e
+    end
+  end
+end
+
+transition Approve (to: ByStr20, token_id: Uint256)
+  (* Original (non-rewritten) pattern the paper cannot shard: the
+     owner is read from the contract state and used as a map key. *)
+  owner_opt <- token_owners[token_id];
+  match owner_opt with
+  | None =>
+    e = { _exception : "TokenNotFound" };
+    throw e
+  | Some actual_owner =>
+    is_owner = builtin eq _sender actual_owner;
+    match is_owner with
+    | False =>
+      e = { _exception : "NotAuthorized" };
+      throw e
+    | True =>
+      token_approvals[token_id] := to;
+      approvals_index[actual_owner][token_id] := to;
+      e = { _eventname : "ApproveSuccess"; approved : to;
+            token_id : token_id };
+      event e
+    end
+  end
+end
+
+transition ConfigureMinter (new_minter: ByStr20)
+  current <- minter;
+  is_owner = builtin eq _sender contract_owner;
+  match is_owner with
+  | False =>
+    e = { _exception : "NotContractOwner" };
+    throw e
+  | True =>
+    minter := new_minter;
+    e = { _eventname : "MinterConfigured"; old_minter : current;
+          new_minter : new_minter };
+    event e
+  end
+end
+"""

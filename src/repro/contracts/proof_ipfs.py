@@ -1,0 +1,161 @@
+"""ProofIPFS — a notary contract registering IPFS content hashes.
+
+Ten transitions.  Register both notarises the hash (keyed by the hash)
+and appends to the per-user index (keyed by the sender) — two state
+components owned by different shards, so although the transition is
+*shardable*, most of its transactions end up in the DS committee.
+This reproduces the paper's "ProofIPFS register" workload, which does
+not scale with shard count (Fig. 14).
+"""
+
+PROOF_IPFS = """
+scilla_version 0
+
+library ProofIPFS
+
+let zero = Uint128 0
+let true = True
+
+contract ProofIPFS
+(
+  initial_admin: ByStr20
+)
+
+field registry : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field registered_at : Map ByStr32 BNum = Emp ByStr32 BNum
+field user_files : Map ByStr20 (Map ByStr32 Bool) =
+  Emp ByStr20 (Map ByStr32 Bool)
+field admin : ByStr20 = initial_admin
+field registration_fee : Uint128 = Uint128 0
+field quota : Uint128 = Uint128 100
+field service_description : String = "ProofIPFS notary"
+field withdraw_limit : Uint128 = Uint128 1000000
+
+procedure ThrowIfNotAdmin ()
+  a <- admin;
+  is_admin = builtin eq _sender a;
+  match is_admin with
+  | True =>
+  | False =>
+    e = { _exception : "NotAdmin" };
+    throw e
+  end
+end
+
+procedure ThrowIfNotFileOwner (ipfs_hash: ByStr32)
+  owner_opt <- registry[ipfs_hash];
+  match owner_opt with
+  | None =>
+    e = { _exception : "HashNotRegistered" };
+    throw e
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+    | False =>
+      e = { _exception : "NotFileOwner" };
+      throw e
+    end
+  end
+end
+
+transition Register (ipfs_hash: ByStr32)
+  taken <- exists registry[ipfs_hash];
+  match taken with
+  | True =>
+    e = { _exception : "AlreadyRegistered" };
+    throw e
+  | False =>
+    registry[ipfs_hash] := _sender;
+    blk <- & BLOCKNUMBER;
+    registered_at[ipfs_hash] := blk;
+    user_files[_sender][ipfs_hash] := true;
+    e = { _eventname : "Registered"; item : ipfs_hash;
+          owner : _sender };
+    event e
+  end
+end
+
+transition Deregister (ipfs_hash: ByStr32)
+  ThrowIfNotFileOwner ipfs_hash;
+  delete registry[ipfs_hash];
+  delete registered_at[ipfs_hash];
+  delete user_files[_sender][ipfs_hash];
+  e = { _eventname : "Deregistered"; item : ipfs_hash };
+  event e
+end
+
+transition TransferFile (ipfs_hash: ByStr32, new_owner: ByStr20)
+  ThrowIfNotFileOwner ipfs_hash;
+  registry[ipfs_hash] := new_owner;
+  delete user_files[_sender][ipfs_hash];
+  user_files[new_owner][ipfs_hash] := true;
+  e = { _eventname : "FileTransferred"; item : ipfs_hash;
+        new_owner : new_owner };
+  event e
+end
+
+transition RenewRegistration (ipfs_hash: ByStr32)
+  ThrowIfNotFileOwner ipfs_hash;
+  blk <- & BLOCKNUMBER;
+  registered_at[ipfs_hash] := blk;
+  e = { _eventname : "Renewed"; item : ipfs_hash };
+  event e
+end
+
+transition SetRegistrationFee (new_fee: Uint128)
+  ThrowIfNotAdmin;
+  registration_fee := new_fee;
+  e = { _eventname : "FeeChanged"; new_fee : new_fee };
+  event e
+end
+
+transition SetQuota (new_quota: Uint128)
+  ThrowIfNotAdmin;
+  quota := new_quota;
+  e = { _eventname : "QuotaChanged"; new_quota : new_quota };
+  event e
+end
+
+transition SetDescription (description: String)
+  ThrowIfNotAdmin;
+  service_description := description;
+  e = { _eventname : "DescriptionChanged" };
+  event e
+end
+
+transition SetWithdrawLimit (new_limit: Uint128)
+  ThrowIfNotAdmin;
+  withdraw_limit := new_limit;
+  e = { _eventname : "WithdrawLimitChanged"; new_limit : new_limit };
+  event e
+end
+
+transition ChangeAdmin (new_admin: ByStr20)
+  ThrowIfNotAdmin;
+  admin := new_admin;
+  e = { _eventname : "AdminChanged"; new_admin : new_admin };
+  event e
+end
+
+transition RegisterBatch (hashes: List ByStr32)
+  (* The registry key is computed (a digest of the batch), not a
+     transition parameter: the analysis cannot summarise these
+     accesses, so the transition gets the unsatisfiable constraint ⊥
+     and is always processed by the DS committee. *)
+  length_op = @list_length ByStr32;
+  count = length_op hashes;
+  batch_digest = builtin sha256hash hashes;
+  taken <- exists registry[batch_digest];
+  match taken with
+  | True =>
+    e = { _exception : "AlreadyRegistered" };
+    throw e
+  | False =>
+    registry[batch_digest] := _sender;
+    user_files[_sender][batch_digest] := true;
+    e = { _eventname : "BatchAccepted"; count : count };
+    event e
+  end
+end
+"""

@@ -1,0 +1,208 @@
+"""Unstoppable Domains registry — the most popular Zilliqa contract.
+
+Eleven transitions; per the paper's evaluation, the high-traffic ones
+(Bestow — granting a new domain — and the record-configuration
+transitions, ~90% of usage) are sharded, while ownership transfers use
+operator authorisation keyed by owners read from the state and cannot
+be (⊥).
+"""
+
+UD_REGISTRY = """
+scilla_version 0
+
+library UDRegistry
+
+let zero = Uint128 0
+let true = True
+
+contract UDRegistry
+(
+  initial_admin: ByStr20,
+  initial_registrar: ByStr20
+)
+
+field records : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field resolvers : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field registered_at : Map ByStr32 BNum = Emp ByStr32 BNum
+field approvals : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+field operators : Map ByStr20 (Map ByStr20 Bool) =
+  Emp ByStr20 (Map ByStr20 Bool)
+field invites : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field admin : ByStr20 = initial_admin
+field registrar : ByStr20 = initial_registrar
+
+(* ------------------------------------------------------------------ *)
+(* Authorisation procedures                                            *)
+(* ------------------------------------------------------------------ *)
+
+procedure ThrowIfNotAdmin ()
+  a <- admin;
+  ok = builtin eq _sender a;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotAdmin" };
+    throw e
+  end
+end
+
+procedure RequireOwnerOrAdmin (node: ByStr32)
+  owner_opt <- records[node];
+  match owner_opt with
+  | None =>
+    e = { _exception : "UnknownNode" };
+    throw e
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    a <- admin;
+    is_admin = builtin eq _sender a;
+    ok = orb is_owner is_admin;
+    match ok with
+    | True =>
+    | False =>
+      e = { _exception : "NotAuthorized" };
+      throw e
+    end
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sharded in the evaluation: bestow + configuration                   *)
+(* ------------------------------------------------------------------ *)
+
+transition Bestow (node: ByStr32, owner: ByStr20, resolver: ByStr20)
+  r <- registrar;
+  is_registrar = builtin eq _sender r;
+  match is_registrar with
+  | False =>
+    e = { _exception : "NotRegistrar" };
+    throw e
+  | True =>
+    taken <- exists records[node];
+    match taken with
+    | True =>
+      e = { _exception : "NodeTaken" };
+      throw e
+    | False =>
+      records[node] := owner;
+      resolvers[node] := resolver;
+      blk <- & BLOCKNUMBER;
+      registered_at[node] := blk;
+      e = { _eventname : "Bestowed"; node : node; owner : owner };
+      event e
+    end
+  end
+end
+
+transition ConfigureNode (node: ByStr32, new_owner: ByStr20)
+  RequireOwnerOrAdmin node;
+  records[node] := new_owner;
+  e = { _eventname : "NodeConfigured"; node : node;
+        new_owner : new_owner };
+  event e
+end
+
+transition ConfigureResolver (node: ByStr32, new_resolver: ByStr20)
+  RequireOwnerOrAdmin node;
+  resolvers[node] := new_resolver;
+  e = { _eventname : "ResolverConfigured"; node : node;
+        new_resolver : new_resolver };
+  event e
+end
+
+transition Approve (node: ByStr32, spender: ByStr20)
+  RequireOwnerOrAdmin node;
+  approvals[node] := spender;
+  e = { _eventname : "Approved"; node : node; spender : spender };
+  event e
+end
+
+transition SetOperator (operator: ByStr20, enabled: Bool)
+  operators[_sender][operator] := enabled;
+  e = { _eventname : "OperatorSet"; operator : operator };
+  event e
+end
+
+transition SendInvite (friend: ByStr20)
+  count_opt <- invites[friend];
+  new_count = match count_opt with
+              | Some c =>
+                let one = Uint128 1 in
+                builtin add c one
+              | None => Uint128 1
+              end;
+  invites[friend] := new_count;
+  msg = { _tag : "InviteReceived"; _recipient : friend;
+          _amount : zero; from : _sender };
+  msgs = one_msg msg;
+  send msgs
+end
+
+transition SetRegistrar (new_registrar: ByStr20)
+  ThrowIfNotAdmin;
+  registrar := new_registrar;
+  e = { _eventname : "RegistrarChanged"; new_registrar : new_registrar };
+  event e
+end
+
+(* ------------------------------------------------------------------ *)
+(* Not shardable: operator authorisation reads owners from the state   *)
+(* ------------------------------------------------------------------ *)
+
+procedure RequireControl (node: ByStr32)
+  owner_opt <- records[node];
+  match owner_opt with
+  | None =>
+    e = { _exception : "UnknownNode" };
+    throw e
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    op_opt <- operators[owner][_sender];
+    is_operator = match op_opt with
+                  | Some flag => flag
+                  | None => False
+                  end;
+    ok = orb is_owner is_operator;
+    match ok with
+    | True =>
+    | False =>
+      e = { _exception : "NotAuthorized" };
+      throw e
+    end
+  end
+end
+
+transition Transfer (node: ByStr32, new_owner: ByStr20)
+  RequireControl node;
+  records[node] := new_owner;
+  delete approvals[node];
+  e = { _eventname : "Transferred"; node : node; new_owner : new_owner };
+  event e
+end
+
+transition Assign (node: ByStr32, parent: ByStr32, new_owner: ByStr20)
+  RequireControl parent;
+  records[node] := new_owner;
+  e = { _eventname : "Assigned"; node : node; new_owner : new_owner };
+  event e
+end
+
+transition Release (node: ByStr32)
+  RequireControl node;
+  delete records[node];
+  delete resolvers[node];
+  delete approvals[node];
+  e = { _eventname : "Released"; node : node };
+  event e
+end
+
+transition SetAdmin (new_admin: ByStr20)
+  ThrowIfNotAdmin;
+  old_admin <- admin;
+  admin := new_admin;
+  msg = { _tag : "AdminHandover"; _recipient : old_admin;
+          _amount : zero; new_admin : new_admin };
+  msgs = one_msg msg;
+  send msgs
+end
+"""

@@ -1,0 +1,336 @@
+"""XSGD — the regulated Singapore-dollar stablecoin (18 transitions).
+
+The largest contract in the corpus, matching the tail of the paper's
+Sec. 5.1.2 histogram.  A full compliance-grade token: issuance and
+redemption, third-party transfers with allowances, blacklisting with
+law-enforcement fund wipes, per-account freezes, pausing, transfer
+limits, and two administrative roles (issuer and compliance officer)
+held in mutable fields.
+"""
+
+XSGD = """
+scilla_version 0
+
+library XSGD
+
+let zero = Uint128 0
+let true = True
+
+contract XSGD (initial_issuer: ByStr20)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field allowances : Map ByStr20 (Map ByStr20 Uint128) =
+  Emp ByStr20 (Map ByStr20 Uint128)
+field blacklist : Map ByStr20 Bool = Emp ByStr20 Bool
+field frozen : Map ByStr20 Bool = Emp ByStr20 Bool
+field supply : Uint128 = Uint128 0
+field issuer : ByStr20 = initial_issuer
+field compliance_officer : ByStr20 = initial_issuer
+field fee_collector : ByStr20 = initial_issuer
+field paused : Bool = False
+field transfer_limit : Uint128 = Uint128 1000000000000
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+procedure ThrowIfPaused ()
+  p <- paused;
+  match p with
+  | True =>
+    e = { _exception : "Paused" };
+    throw e
+  | False =>
+  end
+end
+
+procedure ThrowIfNotIssuer ()
+  i <- issuer;
+  ok = builtin eq _sender i;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotIssuer" };
+    throw e
+  end
+end
+
+procedure ThrowIfNotCompliance ()
+  officer <- compliance_officer;
+  ok = builtin eq _sender officer;
+  match ok with
+  | True =>
+  | False =>
+    e = { _exception : "NotComplianceOfficer" };
+    throw e
+  end
+end
+
+procedure ThrowIfBlacklisted (who: ByStr20)
+  bad <- exists blacklist[who];
+  match bad with
+  | True =>
+    e = { _exception : "Blacklisted" };
+    throw e
+  | False =>
+  end
+end
+
+procedure ThrowIfFrozen (who: ByStr20)
+  ice <- exists frozen[who];
+  match ice with
+  | True =>
+    e = { _exception : "AccountFrozen" };
+    throw e
+  | False =>
+  end
+end
+
+procedure ThrowIfOverLimit (amount: Uint128)
+  limit <- transfer_limit;
+  over = builtin lt limit amount;
+  match over with
+  | True =>
+    e = { _exception : "OverTransferLimit" };
+    throw e
+  | False =>
+  end
+end
+
+procedure MoveBalance (from: ByStr20, to: ByStr20, amount: Uint128)
+  bal_opt <- balances[from];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_from = builtin sub bal amount;
+    balances[from] := new_from;
+    to_opt <- balances[to];
+    new_to = match to_opt with
+             | Some b => builtin add b amount
+             | None => amount
+             end;
+    balances[to] := new_to
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Issuance and redemption                                             *)
+(* ------------------------------------------------------------------ *)
+
+transition Issue (to: ByStr20, amount: Uint128)
+  ThrowIfNotIssuer;
+  ThrowIfPaused;
+  ThrowIfBlacklisted to;
+  bal_opt <- balances[to];
+  new_bal = match bal_opt with
+            | Some b => builtin add b amount
+            | None => amount
+            end;
+  balances[to] := new_bal;
+  s <- supply;
+  new_s = builtin add s amount;
+  supply := new_s;
+  e = { _eventname : "Issued"; to : to; amount : amount };
+  event e
+end
+
+transition Redeem (amount: Uint128)
+  ThrowIfPaused;
+  ThrowIfBlacklisted _sender;
+  bal_opt <- balances[_sender];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  insufficient = builtin lt bal amount;
+  match insufficient with
+  | True =>
+    e = { _exception : "InsufficientFunds" };
+    throw e
+  | False =>
+    new_bal = builtin sub bal amount;
+    balances[_sender] := new_bal;
+    s <- supply;
+    new_s = builtin sub s amount;
+    supply := new_s;
+    e = { _eventname : "Redeemed"; who : _sender; amount : amount };
+    event e
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Transfers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+transition Transfer (to: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  ThrowIfBlacklisted _sender;
+  ThrowIfBlacklisted to;
+  ThrowIfFrozen _sender;
+  ThrowIfOverLimit amount;
+  MoveBalance _sender to amount
+end
+
+transition TransferFrom (from: ByStr20, to: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  ThrowIfBlacklisted from;
+  ThrowIfBlacklisted to;
+  ThrowIfFrozen from;
+  ThrowIfOverLimit amount;
+  allow_opt <- allowances[from][_sender];
+  allow = match allow_opt with
+          | Some a => a
+          | None => zero
+          end;
+  short = builtin lt allow amount;
+  match short with
+  | True =>
+    e = { _exception : "InsufficientAllowance" };
+    throw e
+  | False =>
+    new_allow = builtin sub allow amount;
+    allowances[from][_sender] := new_allow;
+    MoveBalance from to amount
+  end
+end
+
+transition IncreaseAllowance (spender: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  ThrowIfBlacklisted _sender;
+  cur_opt <- allowances[_sender][spender];
+  new_allow = match cur_opt with
+              | Some a => builtin add a amount
+              | None => amount
+              end;
+  allowances[_sender][spender] := new_allow
+end
+
+transition DecreaseAllowance (spender: ByStr20, amount: Uint128)
+  ThrowIfPaused;
+  ThrowIfBlacklisted _sender;
+  cur_opt <- allowances[_sender][spender];
+  cur = match cur_opt with
+        | Some a => a
+        | None => zero
+        end;
+  too_much = builtin lt cur amount;
+  match too_much with
+  | True =>
+    e = { _exception : "AllowanceBelowZero" };
+    throw e
+  | False =>
+    new_allow = builtin sub cur amount;
+    allowances[_sender][spender] := new_allow
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Compliance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+transition Blacklist (target: ByStr20)
+  ThrowIfNotCompliance;
+  blacklist[target] := true;
+  e = { _eventname : "Blacklisted"; target : target };
+  event e
+end
+
+transition Unblacklist (target: ByStr20)
+  ThrowIfNotCompliance;
+  delete blacklist[target];
+  e = { _eventname : "Unblacklisted"; target : target };
+  event e
+end
+
+transition WipeBlacklistedFunds (target: ByStr20)
+  ThrowIfNotCompliance;
+  bad <- exists blacklist[target];
+  match bad with
+  | False =>
+    e = { _exception : "NotBlacklisted" };
+    throw e
+  | True =>
+    bal_opt <- balances[target];
+    bal = match bal_opt with
+          | Some b => b
+          | None => zero
+          end;
+    delete balances[target];
+    s <- supply;
+    new_s = builtin sub s bal;
+    supply := new_s;
+    e = { _eventname : "FundsWiped"; target : target; amount : bal };
+    event e
+  end
+end
+
+transition FreezeAccount (target: ByStr20)
+  ThrowIfNotCompliance;
+  frozen[target] := true
+end
+
+transition UnfreezeAccount (target: ByStr20)
+  ThrowIfNotCompliance;
+  delete frozen[target]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Administration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+transition Pause ()
+  ThrowIfNotIssuer;
+  flag = True;
+  paused := flag
+end
+
+transition Unpause ()
+  ThrowIfNotIssuer;
+  flag = False;
+  paused := flag
+end
+
+transition SetIssuer (new_issuer: ByStr20)
+  ThrowIfNotIssuer;
+  issuer := new_issuer
+end
+
+transition SetComplianceOfficer (officer: ByStr20)
+  ThrowIfNotIssuer;
+  compliance_officer := officer
+end
+
+transition SetFeeCollector (collector: ByStr20)
+  ThrowIfNotIssuer;
+  fee_collector := collector
+end
+
+transition SetTransferLimit (limit: Uint128)
+  ThrowIfNotIssuer;
+  transfer_limit := limit
+end
+
+transition CollectDust (holder: ByStr20)
+  (* Sweep sub-unit dust from a consenting holder to the collector —
+     the collector address is read from the state, so the transition
+     sends to a statically-unknown recipient and is unsharded. *)
+  ThrowIfNotIssuer;
+  collector <- fee_collector;
+  bal_opt <- balances[holder];
+  bal = match bal_opt with
+        | Some b => b
+        | None => zero
+        end;
+  msg = { _tag : "DustReport"; _recipient : collector;
+          _amount : zero; holder : holder; amount : bal };
+  msgs = one_msg msg;
+  send msgs
+end
+"""

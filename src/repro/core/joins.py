@@ -1,0 +1,60 @@
+"""Per-field join operations ⊎f (Fig. 9) and the state-delta PCM.
+
+Two joins are supported, matching the paper:
+
+* ``OwnOverwrite`` — disjoint union of written entries: each shard owns
+  the entries it writes, and the merge overwrites them in the global
+  state (deletes included).  Defined only when shards wrote disjoint
+  entries — which the ownership constraints guarantee.
+* ``IntMerge``     — integer deltas: each shard contributes the signed
+  difference against the epoch-start value; the merge sums deltas.
+  Commutative and associative by construction.
+
+:func:`merge_leaf` is the three-way merge used by the DS committee.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..scilla.errors import ExecError
+from ..scilla.state import MISSING, _Missing
+from ..scilla.values import IntVal, Value
+
+
+class JoinKind(enum.Enum):
+    OWN_OVERWRITE = "OwnOverwrite"
+    INT_MERGE = "IntMerge"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class MergeConflict(ExecError):
+    """Raised when two shard deltas are not logically disjoint.
+
+    Under a valid sharding signature this never happens; it is an
+    assertion of the paper's soundness claim and is exercised by tests
+    that deliberately mis-shard.
+    """
+
+
+def int_delta(base: Value | _Missing, new: Value | _Missing) -> int:
+    """The signed contribution of one shard to an IntMerge field."""
+    base_v = base.value if isinstance(base, IntVal) else 0
+    new_v = new.value if isinstance(new, IntVal) else 0
+    return new_v - base_v
+
+
+def apply_int_delta(base: Value | _Missing, delta: int,
+                    template: Value) -> Value:
+    """Apply a summed delta to the epoch-start value.
+
+    ``template`` supplies the integer type (some shard's final value).
+    Absent entries count as zero, matching the ``None => amount``
+    convention of token contracts.
+    """
+    if not isinstance(template, IntVal):
+        raise MergeConflict(f"IntMerge on non-integer value {template}")
+    base_v = base.value if isinstance(base, IntVal) else 0
+    return IntVal(base_v + delta, template.typ)

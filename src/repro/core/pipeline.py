@@ -1,0 +1,101 @@
+"""The contract-deployment pipeline: parse → typecheck → analyse.
+
+This is the code path every miner runs on a contract-deploying
+transaction (Sec. 4.3 / Fig. 12): the sharding analysis is an optional
+extra phase after type checking, and its cost relative to parsing and
+type checking is what Fig. 12 measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+
+from ..scilla.ast import Module
+from ..scilla.parser import parse_module
+from ..scilla.typechecker import typecheck_module
+from .effects import Summary
+from .signature import (
+    ShardingSignature, WEAK_READS_AUTO, signature_for, signatures_equal,
+)
+from .solver import ShardingSolver
+from .summary import analyze_module
+
+
+@dataclass
+class PipelineTimings:
+    """Wall-clock seconds spent in each deployment stage."""
+
+    parse: float = 0.0
+    typecheck: float = 0.0
+    analysis: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.parse + self.typecheck + self.analysis
+
+    def as_microseconds(self) -> dict[str, float]:
+        return {
+            "parse": self.parse * 1e6,
+            "typecheck": self.typecheck * 1e6,
+            "analysis": self.analysis * 1e6,
+        }
+
+
+@dataclass
+class DeploymentResult:
+    module: Module
+    summaries: dict[str, Summary]
+    timings: PipelineTimings
+    warnings: list[str] = dc_field(default_factory=list)
+
+    @property
+    def contract_name(self) -> str:
+        return self.module.contract.name
+
+    def solver(self, weak_reads=WEAK_READS_AUTO) -> ShardingSolver:
+        return ShardingSolver(self.contract_name, self.summaries, weak_reads)
+
+    def signature(self, selected: tuple[str, ...],
+                  weak_reads=WEAK_READS_AUTO,
+                  allow_commutativity: bool = True) -> ShardingSignature:
+        sig = signature_for(self.contract_name, self.summaries,
+                            tuple(sorted(selected)), weak_reads,
+                            allow_commutativity)
+        assert sig is not None
+        return sig
+
+
+def run_pipeline(source: str, name: str = "<deploy>",
+                 with_analysis: bool = True) -> DeploymentResult:
+    """Run the full deployment pipeline on contract source text."""
+    t0 = time.perf_counter()
+    module = parse_module(source, name)
+    t1 = time.perf_counter()
+    warnings = typecheck_module(module)
+    t2 = time.perf_counter()
+    summaries = analyze_module(module) if with_analysis else {}
+    t3 = time.perf_counter()
+    analysis_time = (t3 - t2) if with_analysis else 0.0
+    return DeploymentResult(
+        module=module,
+        summaries=summaries,
+        timings=PipelineTimings(t1 - t0, t2 - t1, analysis_time),
+        warnings=warnings,
+    )
+
+
+def validate_signature(source: str, proposed: ShardingSignature,
+                       weak_reads=WEAK_READS_AUTO) -> bool:
+    """Miner-side validation: recompute the signature and compare.
+
+    The set of sharded transitions is recoverable from the proposed
+    constraints (Sec. 4.3), so miners need to validate exactly one
+    signature rather than search the selection space.
+    """
+    result = run_pipeline(source)
+    if not set(proposed.selected) <= set(result.summaries):
+        return False  # proposal names transitions the contract lacks
+    recomputed = signature_for(result.contract_name, result.summaries,
+                               tuple(sorted(proposed.selected)), weak_reads)
+    return recomputed is not None and signatures_equal(recomputed, proposed)

@@ -1,0 +1,299 @@
+"""Automated contract repair (Sec. 6, "Automated Contract Repair").
+
+The analysis can only summarise map accesses whose keys are transition
+parameters.  A recurring unshardable pattern reads an owner from the
+contract state and uses it as a map key (e.g. the NFT contract's
+``approvals[tokenOwner]``).  The paper proposes repairing this by
+making the state-derived value a *parameter* and checking the supplied
+value against the state — compare-and-swap style — before proceeding.
+
+This module implements that repair:
+
+* :func:`diagnose` explains, per transition, why the analysis gave up
+  (state-derived map keys, unknown message recipients, …);
+* :func:`repair_transition` mechanically rewrites the transition: for
+  each state-derived binder used as a map key it adds an ``expected_*``
+  parameter, inserts a guard (``RequireEq*`` procedure) right after the
+  binder is bound, and re-keys the map accesses with the parameter.
+  The rewrite preserves semantics for callers that supply the correct
+  current value and rejects all others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from ..scilla import ast
+from ..scilla.ast import (
+    Bind, CallProc, Component, ConstructorPat, Contract, Ident, LitAtom,
+    Load, MapDelete, MapGet, MapGetExists, MapUpdate, MatchStmt, Module,
+    Param, Stmt, )
+from ..scilla.types import MapType, PrimType, ScillaType
+from .summary import analyze_module
+from .signature import derive_signature
+from .constraints import is_bot
+
+
+@dataclass
+class Diagnosis:
+    """Why a transition cannot be sharded, with repair candidates."""
+
+    transition: str
+    shardable: bool
+    reasons: list[str] = dc_field(default_factory=list)
+    repairable_binders: list[str] = dc_field(default_factory=list)
+
+
+def _field_types(contract: Contract) -> dict[str, ScillaType]:
+    return {f.name: f.typ for f in contract.fields}
+
+
+def _key_type(field_type: ScillaType | None, depth: int) -> ScillaType:
+    t = field_type
+    for _ in range(depth):
+        if isinstance(t, MapType):
+            if depth == 1:
+                return t.key
+            t = t.value
+            depth -= 1
+    if isinstance(t, MapType):
+        return t.key
+    return PrimType("ByStr20")
+
+
+class _Provenance:
+    """Tracks which locals are (peels of) values read from state."""
+
+    def __init__(self) -> None:
+        self.state_derived: set[str] = set()
+        self.param_like: set[str] = set()
+
+    def scan(self, stmts: tuple[Stmt, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (Load, MapGet, MapGetExists)):
+                self.state_derived.add(stmt.lhs)
+            elif isinstance(stmt, MatchStmt):
+                scrut_tainted = stmt.scrutinee.name in self.state_derived
+                for pat, body in stmt.clauses:
+                    if scrut_tainted:
+                        for binder in ast.pattern_binders(pat):
+                            self.state_derived.add(binder)
+                    self.scan(body)
+            elif isinstance(stmt, Bind):
+                # A bind of a tainted variable propagates taint.
+                if isinstance(stmt.expr, ast.Var) and \
+                        stmt.expr.name in self.state_derived:
+                    self.state_derived.add(stmt.lhs)
+
+
+def _state_derived_keys(component: Component,
+                        field_types: dict[str, ScillaType],
+                        contract: Contract | None = None
+                        ) -> list[tuple[str, str, int, str]]:
+    """(binder, map field, key position, via) for every state-derived
+    map key.  ``via`` is the procedure name when the pattern sits
+    inside a procedure the component calls (diagnosis only — the
+    mechanical repair is transition-local), or "" when local.
+    """
+    out: list[tuple[str, str, int, str]] = []
+    seen_procs: set[str] = set()
+
+    def scan_component(comp: Component, via: str) -> None:
+        prov = _Provenance()
+        prov.scan(comp.body)
+
+        def walk(stmts: tuple[Stmt, ...]) -> None:
+            for stmt in stmts:
+                keys = ()
+                mapname = None
+                if isinstance(stmt, (MapGet, MapGetExists, MapUpdate,
+                                     MapDelete)):
+                    keys, mapname = stmt.keys, stmt.map
+                for pos, key in enumerate(keys):
+                    if isinstance(key, Ident) and \
+                            key.name in prov.state_derived:
+                        entry = (key.name, mapname, pos, via)
+                        if entry not in out:
+                            out.append(entry)
+                if isinstance(stmt, MatchStmt):
+                    for _pat, body in stmt.clauses:
+                        walk(body)
+                if isinstance(stmt, CallProc) and contract is not None \
+                        and stmt.proc not in seen_procs:
+                    seen_procs.add(stmt.proc)
+                    try:
+                        proc = contract.component(stmt.proc)
+                    except KeyError:
+                        continue
+                    if not proc.is_transition:
+                        scan_component(proc, stmt.proc)
+
+        walk(comp.body)
+
+    scan_component(component, "")
+    return out
+
+
+def diagnose(module: Module) -> list[Diagnosis]:
+    """Explain, per transition, whether and why sharding fails."""
+    summaries = analyze_module(module)
+    field_types = _field_types(module.contract)
+    out: list[Diagnosis] = []
+    for transition in module.contract.transitions:
+        summary = summaries[transition.name]
+        sig = derive_signature(module.contract.name, summaries,
+                               (transition.name,))
+        constraints = sig.constraints[transition.name]
+        shardable = not is_bot(constraints)
+        reasons = []
+        for eff in summary.effects:
+            from .effects import SendMsg, TopEffect
+            if isinstance(eff, TopEffect):
+                reasons.append(eff.reason)
+            elif isinstance(eff, SendMsg) and eff.is_top:
+                reasons.append("send of statically-unknown message")
+        binders = sorted({
+            b if not via else f"{b} (in procedure {via})"
+            for b, _, _, via in _state_derived_keys(
+                transition, field_types, module.contract)})
+        out.append(Diagnosis(transition.name, shardable, reasons,
+                             binders))
+    return out
+
+
+# --------------------------------------------------------------------------
+# The rewrite.
+# --------------------------------------------------------------------------
+
+def _guard_proc_name(typ: ScillaType) -> str:
+    return "RequireEq" + str(typ).replace(" ", "").replace("(", "") \
+        .replace(")", "")
+
+
+def _make_guard_procedure(typ: ScillaType) -> Component:
+    """``procedure RequireEqT (expected: T, actual: T)``."""
+    check = Bind("cas_ok", ast.Builtin(
+        "eq", (Ident("expected"), Ident("actual"))))
+    fail_body = (
+        Bind("cas_e", ast.MessageExpr(
+            (("_exception", LitAtom("CompareAndSwapFailed",
+                                    PrimType("String"))),))),
+        ast.Throw(Ident("cas_e")),
+    )
+    match = MatchStmt(Ident("cas_ok"), (
+        (ConstructorPat("True"), ()),
+        (ConstructorPat("False"), fail_body),
+    ))
+    return Component(
+        "procedure", _guard_proc_name(typ),
+        (Param("expected", typ), Param("actual", typ)),
+        (check, match))
+
+
+def _rewrite_stmts(stmts: tuple[Stmt, ...], binder: str, param: str,
+                   guard_proc: str, tainting: set[str]) -> tuple[Stmt, ...]:
+    """Re-key accesses using ``binder`` and insert the guard after the
+    statement (or clause) that binds it."""
+
+    def rekey(stmt: Stmt) -> Stmt:
+        def fix(keys):
+            return tuple(
+                Ident(param) if isinstance(k, Ident) and k.name == binder
+                else k for k in keys)
+        if isinstance(stmt, MapGet):
+            return MapGet(stmt.lhs, stmt.map, fix(stmt.keys), stmt.loc)
+        if isinstance(stmt, MapGetExists):
+            return MapGetExists(stmt.lhs, stmt.map, fix(stmt.keys),
+                                stmt.loc)
+        if isinstance(stmt, MapUpdate):
+            return MapUpdate(stmt.map, fix(stmt.keys), stmt.rhs, stmt.loc)
+        if isinstance(stmt, MapDelete):
+            return MapDelete(stmt.map, fix(stmt.keys), stmt.loc)
+        return stmt
+
+    out: list[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, MatchStmt):
+            clauses = []
+            for pat, body in stmt.clauses:
+                binders = ast.pattern_binders(pat)
+                new_body = _rewrite_stmts(body, binder, param,
+                                          guard_proc, tainting)
+                if binder in binders and \
+                        stmt.scrutinee.name in tainting:
+                    guard = CallProc(guard_proc,
+                                     (Ident(param), Ident(binder)))
+                    new_body = (guard,) + new_body
+                clauses.append((pat, new_body))
+            out.append(MatchStmt(stmt.scrutinee, tuple(clauses),
+                                 stmt.loc))
+            continue
+        out.append(rekey(stmt))
+        if isinstance(stmt, (Load, MapGet)) and stmt.lhs == binder:
+            out.append(CallProc(guard_proc,
+                                (Ident(param), Ident(binder))))
+    return tuple(out)
+
+
+def repair_transition(module: Module, transition: str) -> tuple[Module,
+                                                                list[str]]:
+    """Apply the compare-and-swap repair to one transition.
+
+    Returns the rewritten module and a human-readable change log.  If
+    the transition has no state-derived map keys, the module is
+    returned unchanged with an empty log.
+    """
+    contract = module.contract
+    component = contract.component(transition)
+    field_types = _field_types(contract)
+    candidates = [(b, m, pos) for b, m, pos, via in
+                  _state_derived_keys(component, field_types)
+                  if not via]
+    if not candidates:
+        return module, []
+
+    prov = _Provenance()
+    prov.scan(component.body)
+
+    changes: list[str] = []
+    new_params = list(component.params)
+    body = component.body
+    guard_procs: dict[str, Component] = {}
+    for binder, mapname, pos in candidates:
+        key_t = _key_type(field_types.get(mapname), pos + 1)
+        param_name = f"expected_{binder}"
+        if all(p.name != param_name for p in new_params):
+            new_params.append(Param(param_name, key_t))
+            changes.append(
+                f"added parameter {param_name}: {key_t} (compare-and-"
+                f"swap for state-derived key {binder!r} of {mapname})")
+        proc = _make_guard_procedure(key_t)
+        guard_procs[proc.name] = proc
+        body = _rewrite_stmts(body, binder, param_name, proc.name,
+                              prov.state_derived)
+        changes.append(
+            f"re-keyed {mapname}[{binder}] as {mapname}[{param_name}] "
+            f"and guarded with {proc.name}")
+
+    new_component = Component(component.kind, component.name,
+                              tuple(new_params), body, component.loc)
+    components = tuple(
+        new_component if c.name == transition else c
+        for c in contract.components)
+    for proc in guard_procs.values():
+        if all(c.name != proc.name for c in components):
+            components = (proc,) + components
+    new_contract = Contract(contract.name, contract.params,
+                            contract.fields, components, contract.loc)
+    return Module(module.version, module.library, new_contract,
+                  module.source_name + "+repaired"), changes
+
+
+def repair_module(module: Module) -> tuple[Module, dict[str, list[str]]]:
+    """Repair every transition that has state-derived map keys."""
+    log: dict[str, list[str]] = {}
+    for transition in [t.name for t in module.contract.transitions]:
+        module, changes = repair_transition(module, transition)
+        if changes:
+            log[transition] = changes
+    return module, log

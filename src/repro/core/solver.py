@@ -1,0 +1,198 @@
+"""Sharding query solver: good-enough signatures (Defs. 5.1–5.3).
+
+The developer-facing half of CoSplit (Fig. 11): given the per-
+transition summaries of a contract, explore selections of transitions,
+derive a signature for each, and classify signatures as *good enough*
+(GE) — allowing some contract state in which all selected transitions
+can run in parallel in different shards — and *maximal GE* (not a
+proper subset of another GE selection).
+
+Computing all maximal signatures naively takes Σ (n choose k)
+derivations; the paper notes this is impractical at mining time but
+fine offline.  We exploit two structural facts to make even the
+18-transition corpus contracts fast:
+
+* a transition's constraints depend on the selection only through the
+  sets of fields the selection writes and IntMerges, so per-transition
+  hog sets can be *memoised per context*;
+* hog sets grow monotonically with the selection, so good-enough-ness
+  (for k ≥ 2) is downward closed and the maximal GE sets can be found
+  top-down, without visiting every subset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+
+from .constraints import hogged_fields, is_bot
+from .effects import Summary
+from .signature import (
+    ShardingSignature, WEAK_READS_AUTO, _transition_constraints,
+    selection_context, signature_for,
+)
+
+
+@dataclass
+class GEReport:
+    """Good-enough statistics for one contract (one Fig. 13 data point)."""
+
+    contract: str
+    n_transitions: int
+    largest_ge_size: int
+    largest_ge: tuple[str, ...]
+    maximal_ge: list[tuple[str, ...]] = dc_field(default_factory=list)
+
+    @property
+    def n_maximal(self) -> int:
+        return len(self.maximal_ge)
+
+
+def is_good_enough(sig: ShardingSignature) -> bool:
+    """Def. 5.2: k = 1 — the transition hogs no field; k > 1 — every
+    field is hogged by at most one selected transition.  Transitions
+    with an unsatisfiable (⊥) constraint set are never GE."""
+    if any(is_bot(cs) for cs in sig.constraints.values()):
+        return False
+    hogs_per_transition = {t: sig.hogs(t) for t in sig.selected}
+    if len(sig.selected) == 1:
+        (only,) = sig.selected
+        return not hogs_per_transition[only]
+    hog_count: dict[str, int] = {}
+    for hogs in hogs_per_transition.values():
+        for f in hogs:
+            hog_count[f] = hog_count.get(f, 0) + 1
+    return all(count <= 1 for count in hog_count.values())
+
+
+class ShardingSolver:
+    """Enumerates and ranks sharding signatures for one contract."""
+
+    def __init__(self, contract_name: str, summaries: dict[str, Summary],
+                 weak_reads=WEAK_READS_AUTO):
+        self.contract_name = contract_name
+        self.summaries = summaries
+        self.weak_reads = weak_reads
+        self._cache: dict[tuple[str, ...], ShardingSignature] = {}
+        # (transition, written∩touched, intmerge∩touched) → hog fields.
+        self._hog_cache: dict[tuple, frozenset[str]] = {}
+        self._bot_cache: dict[str, bool] = {}
+        self._touched: dict[str, frozenset[str]] = {
+            t: frozenset({e.pf.field for e in s.reads()}
+                         | s.written_fields())
+            for t, s in summaries.items()
+        }
+
+    # -- exact signatures (cached) -------------------------------------------
+
+    def signature(self, selected: tuple[str, ...]) -> ShardingSignature:
+        key = tuple(sorted(selected))
+        if key not in self._cache:
+            sig = signature_for(self.contract_name, self.summaries, key,
+                                self.weak_reads)
+            assert sig is not None
+            self._cache[key] = sig
+        return self._cache[key]
+
+    # -- fast per-context hog computation ----------------------------------------
+
+    def _is_bot(self, transition: str) -> bool:
+        if transition not in self._bot_cache:
+            sig = self.signature((transition,))
+            self._bot_cache[transition] = not sig.is_parallelisable(
+                transition)
+        return self._bot_cache[transition]
+
+    def _hogs(self, transition: str, written: frozenset[str],
+              intmerge: frozenset[str]) -> frozenset[str]:
+        touched = self._touched[transition]
+        key = (transition, written & touched, intmerge & touched)
+        if key not in self._hog_cache:
+            cs, _ = _transition_constraints(
+                self.summaries[transition], key[1], key[2])
+            self._hog_cache[key] = frozenset(hogged_fields(cs))
+        return self._hog_cache[key]
+
+    def _ge_fast(self, selection: frozenset[str]) -> bool:
+        """Def. 5.2 via memoised per-context hogs (no full derivation)."""
+        selected = tuple(sorted(selection))
+        written, intmerge, _joins = selection_context(
+            self.summaries, selected,
+            allow_commutativity=self.weak_reads == WEAK_READS_AUTO
+            or bool(self.weak_reads))
+        hog_count: dict[str, int] = {}
+        for t in selected:
+            hogs = self._hogs(t, written, intmerge)
+            if len(selected) == 1 and hogs:
+                return False
+            for f in hogs:
+                hog_count[f] = hog_count.get(f, 0) + 1
+        return all(count <= 1 for count in hog_count.values())
+
+    # -- public queries --------------------------------------------------------------
+
+    def shardable_transitions(self) -> list[str]:
+        """Transitions whose singleton signature is satisfiable."""
+        return [t for t in self.summaries if not self._is_bot(t)]
+
+    def ge_selections(self, max_n: int = 14) -> list[tuple[str, ...]]:
+        """All good-enough selections (exhaustive; small contracts)."""
+        candidates = sorted(self.shardable_transitions())
+        if len(candidates) > max_n:
+            raise ValueError(
+                f"{len(candidates)} candidates; exhaustive enumeration "
+                f"capped at {max_n} — use maximal_ge_selections()")
+        out: list[tuple[str, ...]] = []
+        for k in range(1, len(candidates) + 1):
+            for combo in itertools.combinations(candidates, k):
+                if self._ge_fast(frozenset(combo)):
+                    out.append(combo)
+        return out
+
+    def maximal_ge_selections(self) -> list[tuple[str, ...]]:
+        """All maximal GE selections, found top-down.
+
+        Good-enough-ness is downward closed for k ≥ 2 (hogs grow
+        monotonically with the selection), so starting from the full
+        candidate set and removing one transition at a time visits
+        only the frontier above the maximal sets.
+        """
+        candidates = frozenset(self.shardable_transitions())
+        if not candidates:
+            return []
+        maximal: list[frozenset[str]] = []
+        visited: set[frozenset[str]] = set()
+        stack: list[frozenset[str]] = [candidates]
+        while stack:
+            selection = stack.pop()
+            if selection in visited or not selection:
+                continue
+            visited.add(selection)
+            if any(selection < m for m in maximal) or \
+                    any(selection == m for m in maximal):
+                continue  # already dominated
+            if self._ge_fast(selection):
+                maximal = [m for m in maximal if not (m < selection)]
+                if not any(selection <= m for m in maximal):
+                    maximal.append(selection)
+                continue
+            if len(selection) == 1:
+                continue
+            for t in selection:
+                smaller = selection - {t}
+                if smaller not in visited:
+                    stack.append(smaller)
+        return sorted((tuple(sorted(m)) for m in maximal),
+                      key=lambda m: (len(m), m))
+
+    def report(self) -> GEReport:
+        """Largest-GE and maximal-GE statistics (Fig. 13a / 13b)."""
+        maximal = self.maximal_ge_selections()
+        largest: tuple[str, ...] = max(maximal, key=len) if maximal else ()
+        return GEReport(
+            contract=self.contract_name,
+            n_transitions=len(self.summaries),
+            largest_ge_size=len(largest),
+            largest_ge=largest,
+            maximal_ge=maximal,
+        )

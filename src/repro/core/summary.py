@@ -1,0 +1,544 @@
+"""Transition-summary inference (Sec. 3.2–3.4 of the paper).
+
+A compositional abstract interpretation over Scilla transitions that
+computes, per transition, a set of effects (:mod:`repro.core.effects`)
+annotated with contribution types (:mod:`repro.core.domain`).
+
+The implementation follows the rules of Fig. 7: reads introduce
+``Field`` contribution sources, builtins record operations, function
+application substitutes formals, and ``match`` joins branch
+contributions via ``MatchC``/``AdaptC`` — with the option-peel special
+case that keeps the canonical ERC20 transfer exactly summarisable.
+Procedure calls are inlined with argument aliasing, giving the
+inter-procedural analysis the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+
+from ..scilla import ast
+from ..scilla.ast import (
+    Accept, App, Atom, Bind, BinderPat, Builtin, CallProc, Constr, ConstructorPat, Event, Expr, Fun, Let,
+    LibTypeDef, LitAtom, Literal, Load, MapDelete, MapGet,
+    MapGetExists, MapUpdate, MatchExpr, MatchStmt, MessageExpr, Module,
+    ReadBlockchain, Send, Stmt, Store, TApp, TFun, Throw, Var,
+    WildcardPat,
+)
+from ..scilla.interpreter import NATIVE_ARITIES, _prelude
+from ..scilla.types import MapType, ScillaType
+from .domain import (
+    BOT, CT, ConstKey, ContribType, EFun, Key, ParamKey, PseudoField, TOP, TopContrib, const_ct,
+    ct_add_op, ct_apply, ct_join_all, ct_mark_cond, ct_plus, ct_sum,
+    field_ct, formal_ct,
+)
+from .effects import (
+    AcceptFunds, Condition, MsgInfo, RECIP_CONST, RECIP_PARAM,
+    RECIP_SENDER, RECIP_UNKNOWN, Read, SendMsg, Summary, TopEffect,
+    Write,
+)
+
+IMPLICIT_PARAMS = ("_sender", "_origin", "_amount")
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """Abstract value: contribution type plus auxiliary structure.
+
+    ``key``  — when the value can serve as a statically-describable map
+    key (it is a transition parameter or constant), its symbolic form.
+    ``msgs`` — message-shape info when the value is (or contains) known
+    messages; ``None`` when it provably contains no messages; the empty
+    tuple when it may contain messages of unknown shape.
+    """
+
+    ct: ContribType
+    key: Key | None = None
+    msgs: tuple[MsgInfo, ...] | None = None
+    may_have_msgs: bool = False
+
+
+def _merge_msgs(values: list[AbsVal]) -> tuple[tuple[MsgInfo, ...] | None, bool]:
+    msgs: list[MsgInfo] = []
+    may = False
+    for v in values:
+        if v.msgs:
+            msgs.extend(v.msgs)
+        may = may or v.may_have_msgs
+    return (tuple(msgs) if msgs else None), may or bool(msgs)
+
+
+class SummaryAnalyzer:
+    """Infers effect summaries for every transition of a module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.contract = module.contract
+        self.field_depths = {
+            f.name: _map_depth(f.typ) for f in self.contract.fields
+        }
+        self._formal_counter = itertools.count()
+        self.lib_env = self._analyze_libraries()
+
+    # -- library --------------------------------------------------------------
+
+    def _fresh_formal(self, base: str) -> str:
+        return f"{base}#{next(self._formal_counter)}"
+
+    def _analyze_libraries(self) -> dict[str, AbsVal]:
+        env: dict[str, AbsVal] = {}
+        for name in NATIVE_ARITIES:
+            # Natives (folds etc.) behave as unknown functions: applying
+            # them scales arguments by ω, inexactly — sound and simple.
+            env[name] = AbsVal(BOT)
+        for lib in (_prelude().library, self.module.library):
+            if lib is None:
+                continue
+            for entry in lib.entries:
+                if isinstance(entry, LibTypeDef):
+                    continue
+                env[entry.name] = self._expr(entry.expr, env, summary=None)
+        return env
+
+    # -- per-transition entry point ----------------------------------------------
+
+    def analyze_transition(self, name: str) -> Summary:
+        component = self.contract.component(name)
+        summary = Summary(name, tuple(p.name for p in component.params))
+        env = dict(self.lib_env)
+        for p in self.contract.params:
+            env[p.name] = AbsVal(const_ct(f"cparam:{p.name}"),
+                                 key=ConstKey(f"cparam:{p.name}"))
+        env["_this_address"] = AbsVal(const_ct("_this_address"),
+                                      key=ConstKey("_this_address"))
+        env["_sender"] = AbsVal(formal_ct("_sender"), key=ParamKey("_sender"))
+        env["_origin"] = AbsVal(formal_ct("_origin"), key=ParamKey("_origin"))
+        env["_amount"] = AbsVal(formal_ct("_amount"))
+        for p in component.params:
+            env[p.name] = AbsVal(formal_ct(p.name), key=ParamKey(p.name))
+        self._stmts(component.body, env, summary, call_stack=(name,))
+        summary.dedupe_conditions()
+        return summary
+
+    def analyze_all(self) -> dict[str, Summary]:
+        return {
+            t.name: self.analyze_transition(t.name)
+            for t in self.contract.transitions
+        }
+
+    # -- atoms ------------------------------------------------------------------
+
+    def _atom(self, atom: Atom, env: dict[str, AbsVal]) -> AbsVal:
+        if isinstance(atom, LitAtom):
+            return AbsVal(const_ct(_const_repr(atom)),
+                          key=ConstKey(_const_repr(atom)))
+        value = env.get(atom.name)
+        if value is None:
+            return AbsVal(TOP)
+        return value
+
+    def _key_of(self, atom: Atom, env: dict[str, AbsVal]) -> Key | None:
+        return self._atom(atom, env).key
+
+    # -- expressions (pure) ---------------------------------------------------------
+
+    def _expr(self, expr: Expr, env: dict[str, AbsVal],
+              summary: Summary | None) -> AbsVal:
+        if isinstance(expr, Literal):
+            r = _const_repr(expr)
+            return AbsVal(const_ct(r), key=ConstKey(r))
+        if isinstance(expr, Var):
+            return env.get(expr.name, AbsVal(TOP))
+        if isinstance(expr, MessageExpr):
+            vals = [self._atom(a, env) for _, a in expr.fields]
+            ct = ct_sum(v.ct for v in vals)
+            info = self._msg_info(expr, env)
+            return AbsVal(ct, msgs=(info,), may_have_msgs=True)
+        if isinstance(expr, Constr):
+            vals = [self._atom(a, env) for a in expr.args]
+            msgs, may = _merge_msgs(vals)
+            return AbsVal(ct_sum(v.ct for v in vals), msgs=msgs,
+                          may_have_msgs=may)
+        if isinstance(expr, Builtin):
+            vals = [self._atom(a, env) for a in expr.args]
+            ct = ct_add_op(ct_sum(v.ct for v in vals), expr.name)
+            return AbsVal(ct)
+        if isinstance(expr, Let):
+            bound = self._expr(expr.bound, env, summary)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self._expr(expr.body, inner, summary)
+        if isinstance(expr, Fun):
+            formal = self._fresh_formal(expr.param)
+            inner = dict(env)
+            inner[expr.param] = AbsVal(formal_ct(formal))
+            body = self._expr(expr.body, inner, summary)
+            return AbsVal(EFun(formal, body.ct), msgs=body.msgs,
+                          may_have_msgs=body.may_have_msgs)
+        if isinstance(expr, App):
+            func = env.get(expr.func.name, AbsVal(TOP))
+            ct = func.ct
+            vals = [self._atom(a, env) for a in expr.args]
+            for v in vals:
+                ct = ct_apply(ct, v.ct)
+            msgs, may = _merge_msgs([func] + vals)
+            return AbsVal(ct, msgs=msgs, may_have_msgs=may)
+        if isinstance(expr, MatchExpr):
+            return self._match_expr(expr, env, summary)
+        if isinstance(expr, TFun):
+            body = self._expr(expr.body, env, summary)
+            return body
+        if isinstance(expr, TApp):
+            return env.get(expr.func.name, AbsVal(TOP))
+        return AbsVal(TOP)
+
+    def _match_expr(self, expr: MatchExpr, env: dict[str, AbsVal],
+                    summary: Summary | None) -> AbsVal:
+        scrut = env.get(expr.scrutinee.name, AbsVal(TOP))
+        peel = _is_peel(expr.clauses)
+        clause_vals: list[AbsVal] = []
+        for pat, body in expr.clauses:
+            inner = dict(env)
+            for binder in ast.pattern_binders(pat):
+                inner[binder] = AbsVal(scrut.ct)
+            clause_vals.append(self._expr(body, inner, summary))
+        joined = ct_join_all(v.ct for v in clause_vals)
+        if peel:
+            joined = _check_zero_consistency(
+                scrut.ct, [v.ct for v in clause_vals], joined)
+        elif len(expr.clauses) > 1:
+            same_vars = _same_vars([v.ct for v in clause_vals])
+            joined = ct_plus(joined, ct_mark_cond(scrut.ct, same_vars))
+        msgs, may = _merge_msgs(clause_vals)
+        return AbsVal(joined, msgs=msgs, may_have_msgs=may)
+
+    def _msg_info(self, expr: MessageExpr, env: dict[str, AbsVal]) -> MsgInfo:
+        recipient_kind = RECIP_UNKNOWN
+        recipient: str | None = None
+        amount_zero = True
+        fields = dict(expr.fields)
+        is_event = ast.MSG_EVENTNAME in fields or ast.MSG_EXCEPTION in fields
+        if is_event:
+            # Events/exceptions never leave the contract.
+            return MsgInfo(RECIP_CONST, None, True)
+        recip = fields.get(ast.MSG_RECIPIENT)
+        if recip is not None:
+            if isinstance(recip, LitAtom):
+                recipient_kind = RECIP_CONST
+                recipient = _const_repr(recip)
+            elif recip.name == "_sender" or recip.name == "_origin":
+                recipient_kind = RECIP_SENDER
+            else:
+                aval = self._atom(recip, env)
+                if isinstance(aval.key, ParamKey):
+                    recipient_kind = RECIP_PARAM
+                    recipient = aval.key.name
+                elif isinstance(aval.key, ConstKey):
+                    recipient_kind = RECIP_CONST
+                    recipient = aval.key.repr
+        amount = fields.get(ast.MSG_AMOUNT)
+        if amount is not None:
+            if isinstance(amount, LitAtom):
+                amount_zero = amount.value == 0
+            else:
+                aval = self._atom(amount, env)
+                amount_zero = (isinstance(aval.key, ConstKey)
+                               and aval.key.repr.endswith("|0"))
+        return MsgInfo(recipient_kind, recipient, amount_zero)
+
+    # -- statements ------------------------------------------------------------------
+
+    def _stmts(self, stmts: tuple[Stmt, ...], env: dict[str, AbsVal],
+               summary: Summary, call_stack: tuple[str, ...]) -> None:
+        env = dict(env)
+        for stmt in stmts:
+            self._stmt(stmt, env, summary, call_stack)
+
+    def _field_written(self, summary: Summary, pf: PseudoField) -> bool:
+        """Was this *syntactic* pseudo-field written earlier (MapGet rule)?
+
+        Distinct parameter keys (e.g. ``balances[_sender]`` vs
+        ``balances[to]``) do not block summarisation — their potential
+        runtime aliasing is discharged by the ``NoAliases`` constraint
+        at dispatch time (Fig. 9).  A whole-field access overlaps every
+        keyed access of the same field.
+        """
+        for w in summary.writes():
+            if w.pf.field != pf.field:
+                continue
+            if w.pf.keys == pf.keys or not w.pf.keys or not pf.keys:
+                return True
+        return False
+
+    def _resolve_keys(self, keys: tuple[Atom, ...],
+                      env: dict[str, AbsVal]) -> tuple[Key, ...] | None:
+        out: list[Key] = []
+        for atom in keys:
+            key = self._key_of(atom, env)
+            if key is None:
+                return None
+            out.append(key)
+        return tuple(out)
+
+    def _can_summarise(self, mapname: str, keys: tuple[Atom, ...],
+                       env: dict[str, AbsVal]) -> tuple[Key, ...] | None:
+        """CanSummarise from the MapGet/MapUpdate rules.
+
+        Keys must be transition parameters or constants, and the access
+        must be bottom-level (reach a non-map value).
+        """
+        resolved = self._resolve_keys(keys, env)
+        if resolved is None:
+            return None
+        depth = self.field_depths.get(mapname)
+        if depth is None or len(keys) != depth:
+            return None
+        return resolved
+
+    def _stmt(self, stmt: Stmt, env: dict[str, AbsVal], summary: Summary,
+              call_stack: tuple[str, ...]) -> None:
+        if isinstance(stmt, Bind):
+            env[stmt.lhs] = self._expr(stmt.expr, env, summary)
+            return
+        if isinstance(stmt, Load):
+            pf = PseudoField(stmt.field)
+            if self._field_written(summary, pf):
+                env[stmt.lhs] = AbsVal(TOP)
+                summary.add(TopEffect(f"read-after-write of {stmt.field}"))
+                return
+            summary.add(Read(pf))
+            env[stmt.lhs] = AbsVal(field_ct(pf))
+            return
+        if isinstance(stmt, Store):
+            value = self._atom(stmt.rhs, env)
+            summary.add(Write(PseudoField(stmt.field), value.ct))
+            return
+        if isinstance(stmt, (MapGet, MapGetExists)):
+            keys = self._can_summarise(stmt.map, stmt.keys, env)
+            pf = PseudoField(stmt.map, keys) if keys is not None else None
+            if (pf is None or self._field_written(summary, pf)):
+                env[stmt.lhs] = AbsVal(TOP)
+                summary.add(TopEffect(f"unsummarisable read of {stmt.map}"))
+                return
+            summary.add(Read(pf))
+            ops = frozenset({"exists"}) if isinstance(stmt, MapGetExists) \
+                else frozenset()
+            env[stmt.lhs] = AbsVal(field_ct(pf, ops))
+            return
+        if isinstance(stmt, MapUpdate):
+            keys = self._can_summarise(stmt.map, stmt.keys, env)
+            if keys is None:
+                summary.add(TopEffect(f"unsummarisable write of {stmt.map}"))
+                return
+            value = self._atom(stmt.rhs, env)
+            summary.add(Write(PseudoField(stmt.map, keys), value.ct))
+            return
+        if isinstance(stmt, MapDelete):
+            keys = self._can_summarise(stmt.map, stmt.keys, env)
+            if keys is None:
+                summary.add(TopEffect(f"unsummarisable delete in {stmt.map}"))
+                return
+            summary.add(Write(PseudoField(stmt.map, keys),
+                              const_ct("delete"), is_delete=True))
+            return
+        if isinstance(stmt, ReadBlockchain):
+            env[stmt.lhs] = AbsVal(const_ct(stmt.entry),
+                                   key=ConstKey(stmt.entry))
+            return
+        if isinstance(stmt, MatchStmt):
+            self._match_stmt(stmt, env, summary, call_stack)
+            return
+        if isinstance(stmt, Accept):
+            summary.add(AcceptFunds())
+            return
+        if isinstance(stmt, Send):
+            value = self._atom(stmt.arg, env)
+            if value.msgs:
+                summary.add(SendMsg(value.msgs, value.ct))
+            else:
+                summary.add(SendMsg((), value.ct))  # SendMsg(⊤)
+            return
+        if isinstance(stmt, Event):
+            return  # Events do not touch replicated state.
+        if isinstance(stmt, Throw):
+            return  # Aborts roll back; no sharding-relevant effect.
+        if isinstance(stmt, CallProc):
+            self._call_proc(stmt, env, summary, call_stack)
+            return
+        summary.add(TopEffect(f"unknown statement {type(stmt).__name__}"))
+
+    def _match_stmt(self, stmt: MatchStmt, env: dict[str, AbsVal],
+                    summary: Summary, call_stack: tuple[str, ...]) -> None:
+        scrut = env.get(stmt.scrutinee.name, AbsVal(TOP))
+        peel = _is_peel(stmt.clauses)
+        if not peel and len(stmt.clauses) > 1:
+            if isinstance(scrut.ct, TopContrib):
+                summary.add(Condition(TOP))
+            else:
+                summary.add(Condition(ct_mark_cond(scrut.ct, True)))
+        for pat, body in stmt.clauses:
+            inner = dict(env)
+            for binder in ast.pattern_binders(pat):
+                inner[binder] = AbsVal(scrut.ct)
+            self._stmts(body, inner, summary, call_stack)
+
+    def _call_proc(self, stmt: CallProc, env: dict[str, AbsVal],
+                   summary: Summary, call_stack: tuple[str, ...]) -> None:
+        try:
+            proc = self.contract.component(stmt.proc)
+        except KeyError:
+            summary.add(TopEffect(f"unknown procedure {stmt.proc}"))
+            return
+        if proc.is_transition or stmt.proc in call_stack:
+            summary.add(TopEffect(f"bad procedure call {stmt.proc}"))
+            return
+        if len(stmt.args) != len(proc.params):
+            summary.add(TopEffect(f"arity mismatch calling {stmt.proc}"))
+            return
+        # Inline the procedure body, aliasing its formals to the actual
+        # arguments (so parameter-derived map keys stay summarisable).
+        inner = dict(self.lib_env)
+        for name in ("_sender", "_origin", "_amount", "_this_address"):
+            if name in env:
+                inner[name] = env[name]
+        for p in self.contract.params:
+            if p.name in env:
+                inner[p.name] = env[p.name]
+        for param, atom in zip(proc.params, stmt.args):
+            inner[param.name] = self._atom(atom, env)
+        self._stmts(proc.body, inner, summary, call_stack + (stmt.proc,))
+
+
+# --------------------------------------------------------------------------
+# Helpers.
+# --------------------------------------------------------------------------
+
+def _map_depth(t: ScillaType) -> int:
+    depth = 0
+    while isinstance(t, MapType):
+        depth += 1
+        t = t.value
+    return depth
+
+
+def _const_repr(lit) -> str:
+    # Format must agree with repro.chain.dispatch.key_token so that
+    # constant keys compare correctly against runtime values.
+    return f"{lit.typ}|{lit.value}"
+
+
+def _is_peel(clauses) -> bool:
+    """IsKnownOp: the match merely peels an Option constructor (or has a
+    single catch-all clause), inducing no data-dependent control flow
+    that the analysis needs to track."""
+    if len(clauses) == 1:
+        pat = clauses[0][0]
+        return isinstance(pat, (WildcardPat, BinderPat)) or (
+            isinstance(pat, ConstructorPat))
+    for pat, _body in clauses:
+        if isinstance(pat, WildcardPat):
+            continue
+        if isinstance(pat, ConstructorPat) and pat.constructor == "Some":
+            if all(isinstance(a, (BinderPat, WildcardPat)) for a in pat.args):
+                continue
+            return False
+        if isinstance(pat, ConstructorPat) and pat.constructor == "None":
+            continue
+        return False
+    return True
+
+
+def _is_zero_const(source) -> bool:
+    from .domain import ConstSource
+    return isinstance(source, ConstSource) and source.repr.endswith("|0")
+
+
+def _check_zero_consistency(scrut_ct, clause_cts, joined):
+    """Guard the option-peel special case (IsKnownOp) for soundness.
+
+    The ERC20 idiom ``match o with Some b => add b v | None => v end``
+    stays commutative only because the None branch equals the Some
+    branch with the absent entry *treated as zero* — the convention the
+    IntMerge join applies to absent entries.  A peel whose None branch
+    computes anything else (``None => big``, ``None => mul v two``)
+    must not present the field contribution as exact, or the write
+    would be mis-classified as commutative (demonstrated unsound by
+    tests/test_zero_consistency.py).
+
+    A None-like clause (no field contribution) is zero-consistent with
+    a Some-like clause iff every one of its sources also appears in the
+    Some clause with the same cardinality and an operation superset —
+    extra zero-literal constants aside.
+    """
+    from .domain import Contrib, FieldSource
+    if not isinstance(scrut_ct, CT) or not isinstance(joined, CT):
+        return joined
+    field_sources = {s for s, _ in scrut_ct.sources
+                     if isinstance(s, FieldSource)}
+    if not field_sources:
+        return joined
+    some_like = []
+    none_like = []
+    for ct in clause_cts:
+        if not isinstance(ct, CT):
+            return joined  # ⊤ already poisons downstream
+        sources = {s for s, _ in ct.sources}
+        (some_like if sources & field_sources else none_like).append(ct)
+    consistent = True
+    for none_ct in none_like:
+        live_sources = [s for s, _ in none_ct.sources
+                        if not _is_zero_const(s)]
+        matched = False
+        for some_ct in some_like:
+            ok = True
+            if live_sources:
+                # A non-trivial default only substitutes correctly for
+                # the absent-entry case when the field enters through
+                # pure additions: under sub, the Some branch contributes
+                # the default's sources with flipped sign, so nothing
+                # but zero constants can be consistent.
+                field_ops = frozenset().union(*(
+                    some_ct.get(f).ops for f in field_sources)) \
+                    if field_sources else frozenset()
+                if not field_ops <= frozenset({"add"}):
+                    ok = False
+            if ok:
+                for source, contrib in none_ct.sources:
+                    if _is_zero_const(source):
+                        continue
+                    ref = some_ct.get(source)
+                    if ref.card != contrib.card or \
+                            not contrib.ops <= ref.ops:
+                        ok = False
+                        break
+            if ok:
+                matched = True
+                break
+        if some_like and not matched:
+            consistent = False
+            break
+    if consistent:
+        return joined
+    out = {}
+    for source, contrib in joined.sources:
+        if source in field_sources:
+            contrib = Contrib(contrib.card, contrib.ops, exact=False)
+        out[source] = contrib
+    return CT.of(out)
+
+
+def _same_vars(cts: list[ContribType]) -> bool:
+    """SameVars: do all clause types mention the same sources?"""
+    source_sets = []
+    for ct in cts:
+        if isinstance(ct, CT):
+            source_sets.append(frozenset(s for s, _ in ct.sources))
+        else:
+            return False
+    return len(set(source_sets)) <= 1
+
+
+def analyze_module(module: Module) -> dict[str, Summary]:
+    """Convenience: infer summaries for all transitions of a module."""
+    return SummaryAnalyzer(module).analyze_all()

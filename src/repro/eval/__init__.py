@@ -1,0 +1,27 @@
+"""Evaluation harness: regenerates every table and figure of Sec. 5.
+
+One module per experiment; each exposes a ``run_*`` function returning
+plain data structures plus a ``format_*`` helper that prints the same
+rows/series the paper reports.  The ``benchmarks/`` tree calls into
+these.
+"""
+
+from .ablation import format_ablation, run_ablation
+from .analysis_perf import run_fig12, format_fig12
+from .ethereum_breakdown import run_fig1, format_fig1
+from .ge_stats import run_fig13, format_fig13
+from .overheads import run_overheads, format_overheads
+from .tables import run_contract_stats, format_contract_stats
+from .report import run_full_report
+from .throughput import run_fig14, format_fig14
+
+__all__ = [
+    "run_fig1", "format_fig1",
+    "run_fig12", "format_fig12",
+    "run_fig13", "format_fig13",
+    "run_fig14", "format_fig14",
+    "run_contract_stats", "format_contract_stats",
+    "run_overheads", "format_overheads",
+    "run_ablation", "format_ablation",
+    "run_full_report",
+]

@@ -1,0 +1,57 @@
+"""Fig. 13 + the Sec. 5.1.2 histogram — good-enough signature stats.
+
+For every corpus contract: the number of transitions (the bar chart),
+the size of the largest good-enough signature (Fig. 13a), and the
+number of maximal GE signatures (Fig. 13b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from ..contracts import CORPUS
+from ..core.pipeline import run_pipeline
+from ..core.solver import GEReport
+
+
+@dataclass
+class Fig13Result:
+    reports: list[GEReport] = dc_field(default_factory=list)
+
+    def transition_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for r in self.reports:
+            hist[r.n_transitions] = hist.get(r.n_transitions, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def largest_ge_points(self) -> list[tuple[int, int]]:
+        """(#transitions, largest GE size) — Fig. 13a scatter."""
+        return [(r.n_transitions, r.largest_ge_size) for r in self.reports]
+
+    def maximal_ge_points(self) -> list[tuple[int, int]]:
+        """(#transitions, #maximal GE signatures) — Fig. 13b scatter."""
+        return [(r.n_transitions, r.n_maximal) for r in self.reports]
+
+
+def run_fig13(contracts: dict[str, str] | None = None) -> Fig13Result:
+    contracts = contracts if contracts is not None else CORPUS
+    result = Fig13Result()
+    for name, source in contracts.items():
+        deployment = run_pipeline(source, name)
+        result.reports.append(deployment.solver().report())
+    return result
+
+
+def format_fig13(result: Fig13Result) -> str:
+    lines = ["Sec. 5.1.2 — transitions per contract (histogram)"]
+    for n, count in result.transition_histogram().items():
+        lines.append(f"  {n:2d} transitions: {'█' * count} {count}")
+    lines.append("")
+    lines.append("Fig. 13a/b — good-enough signatures")
+    lines.append(f"{'contract':28s} {'#trans':>6s} {'largest GE':>10s} "
+                 f"{'#maximal GE':>11s}")
+    for r in sorted(result.reports, key=lambda r: (r.n_transitions,
+                                                   r.contract)):
+        lines.append(f"{r.contract:28s} {r.n_transitions:>6d} "
+                     f"{r.largest_ge_size:>10d} {r.n_maximal:>11d}")
+    return "\n".join(lines)

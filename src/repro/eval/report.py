@@ -1,0 +1,49 @@
+"""One-shot evaluation report: every experiment of Sec. 5 in order.
+
+``run_full_report`` regenerates E1–E9 with full-scale parameters and
+returns (and optionally writes) a single combined document — the
+quickest way to compare a fresh checkout against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .ablation import format_ablation, run_ablation
+from .analysis_perf import format_fig12, run_fig12
+from .ethereum_breakdown import format_fig1, run_fig1
+from .ge_stats import format_fig13, run_fig13
+from .overheads import format_overheads, run_overheads
+from .tables import format_contract_stats, run_contract_stats
+from .throughput import format_fig14, run_fig14
+
+EXPERIMENTS = (
+    ("E1 / Fig. 1", lambda: format_fig1(run_fig1())),
+    ("E2 / Fig. 12", lambda: format_fig12(run_fig12(repetitions=5))),
+    ("E3-E5 / Fig. 13", lambda: format_fig13(run_fig13())),
+    ("E6 / Sec. 5.2 table",
+     lambda: format_contract_stats(run_contract_stats())),
+    ("E7 / Fig. 14", lambda: format_fig14(run_fig14(epochs=6))),
+    ("E8 / Sec. 5.2.2", lambda: format_overheads(run_overheads())),
+    ("E9 / Sec. 5.2.3", lambda: format_ablation(run_ablation())),
+)
+
+
+def run_full_report(output: str | Path | None = None,
+                    only: set[str] | None = None) -> str:
+    """Regenerate all experiments; return the combined report text."""
+    sections = []
+    for title, runner in EXPERIMENTS:
+        if only is not None and not any(key in title for key in only):
+            continue
+        t0 = time.perf_counter()
+        body = runner()
+        elapsed = time.perf_counter() - t0
+        sections.append(
+            f"{'=' * 70}\n{title}  (regenerated in {elapsed:.1f} s)\n"
+            f"{'=' * 70}\n{body}")
+    report = "\n\n".join(sections)
+    if output is not None:
+        Path(output).write_text(report + "\n")
+    return report

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the Scilla frontend and interpreter."""
+
+from __future__ import annotations
+
+from .ast import Loc, NOLOC
+
+
+class ScillaError(Exception):
+    """Base class for all errors raised by the Scilla toolchain."""
+
+    def __init__(self, message: str, loc: Loc = NOLOC):
+        self.loc = loc
+        if loc is not NOLOC and (loc.line or loc.col):
+            message = f"{loc}: {message}"
+        super().__init__(message)
+
+
+class LexError(ScillaError):
+    """Raised on malformed input at the token level."""
+
+
+class ParseError(ScillaError):
+    """Raised on syntactically invalid programs."""
+
+
+class TypeError_(ScillaError):
+    """Raised on ill-typed programs (named to avoid shadowing builtins)."""
+
+
+class EvalError(ScillaError):
+    """Raised on runtime failures inside pure expression evaluation."""
+
+
+class ExecError(ScillaError):
+    """Raised when a transition aborts (failed builtin, throw, ...)."""
+
+
+class GasError(ExecError):
+    """Raised when a transition runs out of gas."""
+
+
+class OutOfBoundsError(EvalError):
+    """Integer overflow/underflow in a checked arithmetic builtin."""

@@ -1,0 +1,167 @@
+"""Hand-written lexer for the Scilla concrete syntax.
+
+Produces a flat token stream.  Comments ``(* ... *)`` nest, as in
+OCaml.  Identifier classes follow Scilla: lowercase identifiers for
+variables/fields, capitalised identifiers (CIDs) for constructors,
+types and component names, and ``'A``-style type variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import Loc
+from .errors import LexError
+
+KEYWORDS = {
+    "scilla_version", "library", "contract", "field", "transition",
+    "procedure", "let", "in", "fun", "tfun", "match", "with", "end",
+    "builtin", "accept", "send", "event", "throw", "delete", "exists",
+    "Emp", "of", "type", "import", "forall",
+}
+
+# Multi-character symbols, longest first so the scanner is greedy.
+SYMBOLS = [
+    ":=", "<-", "=>", "->", "{", "}", "(", ")", "[", "]", ";", ":",
+    ",", "=", "|", "&", "@", "_",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # keyword | id | cid | tvar | int | string | hex | sym | eof
+    value: str
+    loc: Loc
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.loc})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert a source string into a list of tokens ending with EOF."""
+    tokens: list[Token] = []
+    i = 0
+    line, col = 1, 1
+    n = len(source)
+
+    def loc() -> Loc:
+        return Loc(line, col)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # Nested comments.
+        if source.startswith("(*", i):
+            start = loc()
+            depth = 0
+            while i < n:
+                if source.startswith("(*", i):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("*)", i):
+                    depth -= 1
+                    advance(2)
+                    if depth == 0:
+                        break
+                else:
+                    advance(1)
+            if depth != 0:
+                raise LexError("unterminated comment", start)
+            continue
+        # String literals.
+        if ch == '"':
+            start = loc()
+            advance(1)
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    esc = source[i + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    advance(2)
+                else:
+                    chars.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal", start)
+            advance(1)  # closing quote
+            tokens.append(Token("string", "".join(chars), start))
+            continue
+        # Hex literals (addresses, hashes).
+        if source.startswith("0x", i) or source.startswith("0X", i):
+            start = loc()
+            j = i + 2
+            while j < n and (source[j] in "0123456789abcdefABCDEF"):
+                j += 1
+            if j == i + 2:
+                raise LexError("malformed hex literal", start)
+            text = source[i:j].lower()
+            advance(j - i)
+            tokens.append(Token("hex", text, start))
+            continue
+        # Numbers (optionally negative handled at parse level via '-').
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            start = loc()
+            j = i + 1
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("int", text, start))
+            continue
+        # Type variables 'A.
+        if ch == "'":
+            start = loc()
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise LexError("malformed type variable", start)
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("tvar", text, start))
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = loc()
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            # A lone underscore is the wildcard symbol, not an identifier.
+            if text == "_":
+                advance(1)
+                tokens.append(Token("sym", "_", start))
+                continue
+            advance(j - i)
+            if text in KEYWORDS:
+                tokens.append(Token("keyword", text, start))
+            elif text[0].isupper():
+                tokens.append(Token("cid", text, start))
+            else:
+                tokens.append(Token("id", text, start))
+            continue
+        # Symbols.
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                start = loc()
+                advance(len(sym))
+                tokens.append(Token("sym", sym, start))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+
+    tokens.append(Token("eof", "", loc()))
+    return tokens

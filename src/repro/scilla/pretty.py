@@ -1,0 +1,198 @@
+"""Pretty-printer for Scilla ASTs.
+
+Produces concrete syntax that the parser accepts, enabling
+parse∘print round-trips (used by the property tests and by the
+contract-repair suggester, which prints rewritten transitions).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Accept, App, Atom, Bind, BinderPat, Builtin, CallProc, Component,
+    Constr, ConstructorPat, Event, Expr, Fun, Ident,
+    Let, LibTypeDef, Literal, Load,
+    MapDelete, MapGet, MapGetExists, MapUpdate, MatchExpr, MatchStmt,
+    MessageExpr, Module, Pattern, ReadBlockchain, Send, Stmt, Store,
+    TApp, TFun, Throw, Var, WildcardPat,
+)
+from .types import MapType, PrimType, ScillaType, is_int_type
+
+INDENT = "  "
+
+
+def pp_literal_text(value: object, typ: ScillaType) -> str:
+    if isinstance(typ, PrimType):
+        if is_int_type(typ) or typ.name == "BNum":
+            return f"{typ.name} {value}"
+        if typ.name == "String":
+            escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+            return f'"{escaped}"'
+        if typ.name.startswith("ByStr"):
+            return str(value)
+    if isinstance(typ, MapType):
+        return f"Emp {_type_atom(typ.key)} {_type_atom(typ.value)}"
+    raise ValueError(f"cannot print literal of type {typ}")
+
+
+def _type_atom(t: ScillaType) -> str:
+    from .types import wrap
+    return wrap(t)
+
+
+def pp_atom(atom: Atom) -> str:
+    if isinstance(atom, Ident):
+        return atom.name
+    return pp_literal_text(atom.value, atom.typ)
+
+
+def pp_pattern(pat: Pattern, parens: bool = False) -> str:
+    if isinstance(pat, WildcardPat):
+        return "_"
+    if isinstance(pat, BinderPat):
+        return pat.name
+    assert isinstance(pat, ConstructorPat)
+    if not pat.args:
+        return pat.constructor
+    inner = " ".join(pp_pattern(a, parens=True) for a in pat.args)
+    text = f"{pat.constructor} {inner}"
+    return f"({text})" if parens else text
+
+
+def pp_expr(expr: Expr, indent: int = 0) -> str:
+    pad = INDENT * indent
+    if isinstance(expr, Literal):
+        return pp_literal_text(expr.value, expr.typ)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, MessageExpr):
+        fields = "; ".join(f"{name} : {pp_atom(a)}"
+                           for name, a in expr.fields)
+        return f"{{ {fields} }}"
+    if isinstance(expr, Constr):
+        parts = [expr.constructor]
+        if expr.type_args:
+            targs = " ".join(_type_atom(t) for t in expr.type_args)
+            parts.append(f"{{{targs}}}")
+        parts.extend(pp_atom(a) for a in expr.args)
+        return " ".join(parts)
+    if isinstance(expr, Builtin):
+        args = " ".join(pp_atom(a) for a in expr.args)
+        return f"builtin {expr.name} {args}"
+    if isinstance(expr, Let):
+        annot = f" : {expr.annot}" if expr.annot else ""
+        bound = pp_expr(expr.bound, indent + 1)
+        body = pp_expr(expr.body, indent)
+        return f"let {expr.name}{annot} = {bound} in\n{pad}{body}"
+    if isinstance(expr, Fun):
+        body = pp_expr(expr.body, indent)
+        return f"fun ({expr.param}: {expr.param_type}) =>\n{pad}{body}"
+    if isinstance(expr, App):
+        args = " ".join(pp_atom(a) for a in expr.args)
+        return f"{expr.func.name} {args}"
+    if isinstance(expr, MatchExpr):
+        clauses = []
+        for pat, body in expr.clauses:
+            clause_body = pp_expr(body, indent + 1)
+            clauses.append(f"{pad}| {pp_pattern(pat)} => {clause_body}")
+        inner = "\n".join(clauses)
+        return f"match {expr.scrutinee.name} with\n{inner}\n{pad}end"
+    if isinstance(expr, TFun):
+        return f"tfun {expr.tvar} =>\n{pad}{pp_expr(expr.body, indent)}"
+    if isinstance(expr, TApp):
+        targs = " ".join(_type_atom(t) for t in expr.type_args)
+        return f"@{expr.func.name} {targs}"
+    raise ValueError(f"cannot print expression {expr!r}")
+
+
+def pp_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = INDENT * indent
+    if isinstance(stmt, Bind):
+        return f"{pad}{stmt.lhs} = {pp_expr(stmt.expr, indent + 1)}"
+    if isinstance(stmt, Load):
+        return f"{pad}{stmt.lhs} <- {stmt.field}"
+    if isinstance(stmt, Store):
+        return f"{pad}{stmt.field} := {pp_atom(stmt.rhs)}"
+    if isinstance(stmt, MapGet):
+        keys = "".join(f"[{pp_atom(k)}]" for k in stmt.keys)
+        return f"{pad}{stmt.lhs} <- {stmt.map}{keys}"
+    if isinstance(stmt, MapGetExists):
+        keys = "".join(f"[{pp_atom(k)}]" for k in stmt.keys)
+        return f"{pad}{stmt.lhs} <- exists {stmt.map}{keys}"
+    if isinstance(stmt, MapUpdate):
+        keys = "".join(f"[{pp_atom(k)}]" for k in stmt.keys)
+        return f"{pad}{stmt.map}{keys} := {pp_atom(stmt.rhs)}"
+    if isinstance(stmt, MapDelete):
+        keys = "".join(f"[{pp_atom(k)}]" for k in stmt.keys)
+        return f"{pad}delete {stmt.map}{keys}"
+    if isinstance(stmt, ReadBlockchain):
+        return f"{pad}{stmt.lhs} <- & {stmt.entry}"
+    if isinstance(stmt, MatchStmt):
+        lines = [f"{pad}match {stmt.scrutinee.name} with"]
+        for pat, body in stmt.clauses:
+            lines.append(f"{pad}| {pp_pattern(pat)} =>")
+            if body:
+                lines.append(pp_stmts(body, indent + 1))
+        lines.append(f"{pad}end")
+        return "\n".join(line for line in lines if line)
+    if isinstance(stmt, Accept):
+        return f"{pad}accept"
+    if isinstance(stmt, Send):
+        return f"{pad}send {pp_atom(stmt.arg)}"
+    if isinstance(stmt, Event):
+        return f"{pad}event {pp_atom(stmt.arg)}"
+    if isinstance(stmt, Throw):
+        if stmt.arg is None:
+            return f"{pad}throw"
+        return f"{pad}throw {pp_atom(stmt.arg)}"
+    if isinstance(stmt, CallProc):
+        args = " ".join(pp_atom(a) for a in stmt.args)
+        return f"{pad}{stmt.proc} {args}".rstrip()
+    raise ValueError(f"cannot print statement {stmt!r}")
+
+
+def pp_stmts(stmts: tuple[Stmt, ...], indent: int = 0) -> str:
+    return ";\n".join(pp_stmt(s, indent) for s in stmts)
+
+
+def pp_component(comp: Component, indent: int = 0) -> str:
+    pad = INDENT * indent
+    params = ", ".join(f"{p.name}: {p.typ}" for p in comp.params)
+    header = f"{pad}{comp.kind} {comp.name} ({params})"
+    body = pp_stmts(comp.body, indent + 1)
+    if body:
+        return f"{header}\n{body}\n{pad}end"
+    return f"{header}\n{pad}end"
+
+
+def pp_module(module: Module) -> str:
+    lines = [f"scilla_version {module.version}", ""]
+    if module.library is not None:
+        lines.append(f"library {module.library.name}")
+        lines.append("")
+        for entry in module.library.entries:
+            if isinstance(entry, LibTypeDef):
+                lines.append(f"type {entry.name} =")
+                for cname, args in entry.constructors:
+                    if args:
+                        types = " ".join(_type_atom(t) for t in args)
+                        lines.append(f"| {cname} of {types}")
+                    else:
+                        lines.append(f"| {cname}")
+            else:
+                annot = f" : {entry.annot}" if entry.annot else ""
+                lines.append(f"let {entry.name}{annot} = "
+                             f"{pp_expr(entry.expr, 1)}")
+            lines.append("")
+    contract = module.contract
+    params = ", ".join(f"{p.name}: {p.typ}" for p in contract.params)
+    lines.append(f"contract {contract.name} ({params})")
+    lines.append("")
+    for field in contract.fields:
+        lines.append(f"field {field.name} : {field.typ} = "
+                     f"{pp_expr(field.init, 1)}")
+    lines.append("")
+    for comp in contract.components:
+        lines.append(pp_component(comp))
+        lines.append("")
+    return "\n".join(lines)

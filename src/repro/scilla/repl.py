@@ -1,0 +1,127 @@
+"""A small Scilla expression REPL.
+
+Evaluates pure Scilla expressions interactively with persistent
+``let``-style bindings, the prelude and the native library in scope.
+Used by ``python -m repro repl`` and handy when writing corpus
+contracts.
+
+Commands:
+
+* ``:type <expr>`` — infer and print the expression's type;
+* ``:let <name> = <expr>`` — evaluate and bind for later inputs;
+* ``:env`` — list current bindings;
+* ``:quit`` — leave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from .errors import ScillaError
+from .interpreter import Interpreter, NATIVE_ARITIES
+from .parser import parse_expression, parse_module
+from .typechecker import NATIVE_TYPES, TypeChecker, TypeEnv
+from .values import Env, Value
+
+_EMPTY_MODULE = """
+scilla_version 0
+contract Repl (owner: ByStr20)
+transition Nop ()
+end
+"""
+
+
+@dataclass
+class ReplSession:
+    """Holds evaluation and typing environments across inputs."""
+
+    interpreter: Interpreter = dc_field(
+        default_factory=lambda: Interpreter(
+            parse_module(_EMPTY_MODULE, "<repl>")))
+    bindings: list[tuple[str, Value]] = dc_field(default_factory=list)
+
+    def _env(self) -> Env:
+        env = self.interpreter.lib_env
+        for name, value in self.bindings:
+            env = env.bind(name, value)
+        return env
+
+    def _type_env(self) -> TypeEnv:
+        checker = TypeChecker(self.interpreter.module)
+        env = checker.check_module()
+        for name, value in self.bindings:
+            # Bindings were produced by evaluation; recover their types
+            # best-effort for :type queries.
+            from .values import type_of_value
+            try:
+                env.bind(name, type_of_value(value))
+            except ScillaError:
+                pass
+        return env
+
+    def eval(self, source: str) -> Value:
+        """Evaluate one expression in the current environment."""
+        expr = parse_expression(source)
+        return self.interpreter.eval_expr(expr, self._env())
+
+    def type_of(self, source: str) -> str:
+        expr = parse_expression(source)
+        checker = TypeChecker(self.interpreter.module)
+        return str(checker.infer_expr(expr, self._type_env()))
+
+    def let(self, name: str, source: str) -> Value:
+        value = self.eval(source)
+        self.bindings.append((name, value))
+        return value
+
+    def handle(self, line: str) -> str | None:
+        """Process one REPL line; returns the text to display, or
+        None for :quit."""
+        line = line.strip()
+        if not line:
+            return ""
+        if line in (":quit", ":q"):
+            return None
+        if line == ":env":
+            if not self.bindings:
+                return "(no bindings)"
+            return "\n".join(f"{name} = {value}"
+                             for name, value in self.bindings)
+        if line == ":help":
+            return (":type <expr>   infer a type\n"
+                    ":let n = expr  bind a value\n"
+                    ":env           list bindings\n"
+                    ":quit          exit")
+        try:
+            if line.startswith(":type "):
+                return self.type_of(line.removeprefix(":type "))
+            if line.startswith(":let "):
+                body = line.removeprefix(":let ")
+                name, _, source = body.partition("=")
+                name = name.strip()
+                if not name or not source.strip():
+                    return "usage: :let <name> = <expr>"
+                value = self.let(name, source.strip())
+                return f"{name} = {value}"
+            return str(self.eval(line))
+        except ScillaError as exc:
+            return f"error: {exc}"
+
+
+def run_repl(stdin=None, stdout=None) -> None:  # pragma: no cover - I/O
+    import sys
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    session = ReplSession()
+    stdout.write("Scilla REPL — :help for commands\n")
+    while True:
+        stdout.write("scilla> ")
+        stdout.flush()
+        line = stdin.readline()
+        if not line:
+            break
+        output = session.handle(line)
+        if output is None:
+            break
+        if output:
+            stdout.write(output + "\n")

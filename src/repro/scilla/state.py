@@ -1,0 +1,162 @@
+"""Mutable contract state and write tracking.
+
+The contract state maps field names to runtime values.  Map-typed
+fields hold :class:`~repro.scilla.values.MapVal`, possibly nested.
+The interpreter mutates state in place but records an *undo log* so a
+failed transition can roll back, and a *write set* so the chain
+substrate can compute per-shard state deltas without diffing whole
+maps.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field as dc_field
+
+from .errors import ExecError
+from .types import MapType, ScillaType
+from .values import MapVal, Value
+
+
+# Sentinel for "entry was absent" in undo logs and write sets.
+class _Missing:
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
+MISSING = _Missing()
+
+
+# A state location: a field name plus a (possibly empty) key path into
+# nested maps.  Keys are runtime values (hashable primitives).
+StateKey = tuple[str, tuple[Value, ...]]
+
+
+@dataclass
+class ContractState:
+    """The mutable replicated state of one deployed contract."""
+
+    address: str
+    fields: dict[str, Value]
+    field_types: dict[str, ScillaType]
+    immutables: dict[str, Value] = dc_field(default_factory=dict)
+    balance: int = 0  # native token balance (QA)
+
+    def copy(self) -> "ContractState":
+        return ContractState(
+            self.address,
+            {k: (v.copy() if isinstance(v, MapVal) else v)
+             for k, v in self.fields.items()},
+            dict(self.field_types),
+            dict(self.immutables),
+            self.balance,
+        )
+
+    # -- raw accessors ------------------------------------------------------
+
+    def get_field(self, name: str) -> Value:
+        if name not in self.fields:
+            raise ExecError(f"unknown field {name!r}")
+        return self.fields[name]
+
+    def _descend(self, name: str, keys: tuple[Value, ...], create: bool):
+        """Walk nested maps along ``keys[:-1]``, returning the leaf map.
+
+        With ``create=True`` missing intermediate maps are created, as
+        Scilla's in-place map update semantics prescribes.
+        """
+        current = self.get_field(name)
+        typ = self.field_types.get(name)
+        for key in keys[:-1]:
+            if not isinstance(current, MapVal):
+                raise ExecError(f"field {name!r} is not a nested map")
+            if key not in current.entries:
+                if not create:
+                    return None
+                if not isinstance(typ, MapType) or not isinstance(typ.value, MapType):
+                    raise ExecError(f"cannot create nested map in {name!r}")
+                current.entries[key] = MapVal(typ.value.key, typ.value.value)
+            current = current.entries[key]
+            typ = typ.value if isinstance(typ, MapType) else None
+        if not isinstance(current, MapVal):
+            raise ExecError(f"field {name!r} is not a map")
+        return current
+
+    def map_get(self, name: str, keys: tuple[Value, ...]) -> Value | _Missing:
+        leaf = self._descend(name, keys, create=False)
+        if leaf is None or keys[-1] not in leaf.entries:
+            return MISSING
+        return leaf.entries[keys[-1]]
+
+    def map_put(self, name: str, keys: tuple[Value, ...], value: Value) -> None:
+        leaf = self._descend(name, keys, create=True)
+        assert leaf is not None
+        leaf.entries[keys[-1]] = value
+
+    def map_delete(self, name: str, keys: tuple[Value, ...]) -> None:
+        leaf = self._descend(name, keys, create=False)
+        if leaf is not None:
+            leaf.entries.pop(keys[-1], None)
+
+    def read(self, key: StateKey) -> Value | _Missing:
+        """Read any state location (whole field or map entry)."""
+        name, keys = key
+        if not keys:
+            return self.fields.get(name, MISSING)
+        return self.map_get(name, keys)
+
+    def write(self, key: StateKey, value: Value | _Missing) -> None:
+        """Write any state location; MISSING deletes a map entry."""
+        name, keys = key
+        if not keys:
+            if isinstance(value, _Missing):
+                raise ExecError("cannot delete a whole field")
+            self.fields[name] = value
+            return
+        if isinstance(value, _Missing):
+            self.map_delete(name, keys)
+        else:
+            self.map_put(name, keys, value)
+
+
+@dataclass
+class WriteLog:
+    """Undo + redo information for a single transition execution."""
+
+    undo: dict[StateKey, Value | _Missing] = dc_field(default_factory=dict)
+    writes: dict[StateKey, Value | _Missing] = dc_field(default_factory=dict)
+
+    def record(self, state: ContractState, key: StateKey,
+               new_value: Value | _Missing) -> None:
+        name, keys = key
+        if not keys:
+            if key not in self.undo:
+                self.undo[key] = copy.deepcopy(state.fields.get(name, MISSING))
+        else:
+            # Walk nested maps; if a prefix of the key path is absent, the
+            # undo action is to delete that prefix (the write will create
+            # intermediate maps that must disappear on rollback).
+            current: Value | _Missing = state.fields.get(name, MISSING)
+            undo_key: StateKey | None = None
+            undo_val: Value | _Missing = MISSING
+            for i, k in enumerate(keys):
+                if not isinstance(current, MapVal) or k not in current.entries:
+                    undo_key = (name, keys[: i + 1])
+                    undo_val = MISSING
+                    break
+                current = current.entries[k]
+            else:
+                undo_key = key
+                undo_val = copy.deepcopy(current)
+            if undo_key not in self.undo:
+                self.undo[undo_key] = undo_val
+        self.writes[key] = new_value
+
+    def rollback(self, state: ContractState) -> None:
+        # Apply in reverse insertion order so that prefix deletions (which
+        # were necessarily recorded before deeper writes under them) run
+        # after any value restorations beneath them.
+        for key, old in reversed(list(self.undo.items())):
+            state.write(key, old)
+        self.undo.clear()
+        self.writes.clear()

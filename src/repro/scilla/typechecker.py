@@ -1,0 +1,478 @@
+"""Type checker for Scilla modules.
+
+Scilla is explicitly typed: function parameters, contract fields and
+component parameters all carry annotations, so checking needs no
+unification — only instantiation of explicit type applications.  The
+checker validates the whole module (library, fields, transitions,
+procedures) and is one of the three deployment-pipeline stages whose
+cost Fig. 12 of the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from . import types as ty
+from .ast import (
+    Accept, App, Atom, Bind, BinderPat, Builtin, CallProc, Component,
+    Constr, ConstructorPat, Contract, Event, Expr, Fun, Ident, Let,
+    LibTypeDef, Literal, Load, Loc, MapDelete,
+    MapGet, MapGetExists, MapUpdate, MatchExpr, MatchStmt, MessageExpr,
+    Module, NOLOC, Pattern, ReadBlockchain, Send, Stmt, Store, TApp,
+    TFun, Throw, Var, WildcardPat,
+)
+from .builtins import get_builtin
+from .errors import EvalError, TypeError_
+from .interpreter import ADTRegistry, _prelude
+from .types import (
+    ADTType, FunType, MapType, PolyFun, ScillaType, TypeVar,
+    BOOL, BNUM, MESSAGE, UINT32, UINT64, UINT128, is_storable,
+    substitute,
+)
+
+# Typing schemes for the native standard-library functions.
+_A, _B = TypeVar("'A"), TypeVar("'B")
+
+
+def _poly(tvars: list[str], body: ScillaType) -> ScillaType:
+    for tv in reversed(tvars):
+        body = PolyFun(tv, body)
+    return body
+
+
+NATIVE_TYPES: dict[str, ScillaType] = {
+    "list_foldl": _poly(["'A", "'B"], FunType(
+        FunType(_B, FunType(_A, _B)),
+        FunType(_B, FunType(ty.list_of(_A), _B)))),
+    "list_foldr": _poly(["'A", "'B"], FunType(
+        FunType(_A, FunType(_B, _B)),
+        FunType(_B, FunType(ty.list_of(_A), _B)))),
+    "list_map": _poly(["'A", "'B"], FunType(
+        FunType(_A, _B), FunType(ty.list_of(_A), ty.list_of(_B)))),
+    "list_filter": _poly(["'A"], FunType(
+        FunType(_A, BOOL), FunType(ty.list_of(_A), ty.list_of(_A)))),
+    "list_length": _poly(["'A"], FunType(ty.list_of(_A), UINT32)),
+    "list_mem": _poly(["'A"], FunType(_A, FunType(ty.list_of(_A), BOOL))),
+    "list_append": _poly(["'A"], FunType(
+        ty.list_of(_A), FunType(ty.list_of(_A), ty.list_of(_A)))),
+    "list_reverse": _poly(["'A"], FunType(ty.list_of(_A), ty.list_of(_A))),
+    "nat_fold": _poly(["'B"], FunType(
+        FunType(_B, _B), FunType(_B, FunType(ty.NAT, _B)))),
+    "fst": _poly(["'A", "'B"], FunType(ty.pair_of(_A, _B), _A)),
+    "snd": _poly(["'A", "'B"], FunType(ty.pair_of(_A, _B), _B)),
+}
+
+BLOCKCHAIN_ENTRY_TYPES = {
+    "BLOCKNUMBER": BNUM,
+    "TIMESTAMP": UINT64,
+    "CHAINID": UINT32,
+}
+
+
+@dataclass
+class TypeEnv:
+    bindings: dict[str, ScillaType] = dc_field(default_factory=dict)
+
+    def child(self) -> "TypeEnv":
+        return TypeEnv(dict(self.bindings))
+
+    def bind(self, name: str, typ: ScillaType) -> None:
+        self.bindings[name] = typ
+
+    def lookup(self, name: str, loc: Loc = NOLOC) -> ScillaType:
+        if name not in self.bindings:
+            raise TypeError_(f"unbound identifier {name!r}", loc)
+        return self.bindings[name]
+
+
+class TypeChecker:
+    """Checks one module; raises :class:`TypeError_` on the first error."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.adts = ADTRegistry()
+        self.warnings: list[str] = []
+
+    # -- entry point ----------------------------------------------------------
+
+    def check_module(self) -> TypeEnv:
+        env = TypeEnv(dict(NATIVE_TYPES))
+        for lib in (_prelude().library, self.module.library):
+            if lib is None:
+                continue
+            for entry in lib.entries:
+                if isinstance(entry, LibTypeDef):
+                    self._check_typedef(entry)
+                    self.adts.define(entry)
+                else:
+                    inferred = self.infer_expr(entry.expr, env)
+                    if entry.annot is not None and entry.annot != inferred:
+                        raise TypeError_(
+                            f"library value {entry.name}: declared "
+                            f"{entry.annot}, inferred {inferred}", entry.loc)
+                    env.bind(entry.name, inferred)
+        self._check_contract(self.module.contract, env)
+        return env
+
+    def _check_typedef(self, typedef: LibTypeDef) -> None:
+        seen: set[str] = set()
+        for cname, args in typedef.constructors:
+            if cname in seen:
+                raise TypeError_(
+                    f"duplicate constructor {cname} in type {typedef.name}",
+                    typedef.loc)
+            seen.add(cname)
+            for arg in args:
+                self._check_wf(arg, typedef.loc)
+
+    def _check_wf(self, t: ScillaType, loc: Loc) -> None:
+        """Well-formedness: referenced ADTs exist, no free type vars."""
+        if isinstance(t, ADTType):
+            if t.name not in self.adts.adts:
+                raise TypeError_(f"unknown type {t.name}", loc)
+            adt = self.adts.adts[t.name]
+            if len(t.targs) != len(adt.tparams):
+                raise TypeError_(
+                    f"type {t.name} expects {len(adt.tparams)} arguments, "
+                    f"got {len(t.targs)}", loc)
+            for a in t.targs:
+                self._check_wf(a, loc)
+        elif isinstance(t, MapType):
+            self._check_wf(t.key, loc)
+            self._check_wf(t.value, loc)
+        elif isinstance(t, FunType):
+            self._check_wf(t.arg, loc)
+            self._check_wf(t.ret, loc)
+
+    # -- contract ------------------------------------------------------------------
+
+    def _check_contract(self, contract: Contract, env: TypeEnv) -> None:
+        cenv = env.child()
+        for p in contract.params:
+            self._check_wf(p.typ, p.loc)
+            if not is_storable(p.typ):
+                raise TypeError_(
+                    f"contract parameter {p.name} has non-storable type "
+                    f"{p.typ}", p.loc)
+            cenv.bind(p.name, p.typ)
+        cenv.bind("_this_address", ty.BYSTR20)
+
+        field_types: dict[str, ScillaType] = {}
+        for fld in contract.fields:
+            self._check_wf(fld.typ, fld.loc)
+            if not is_storable(fld.typ):
+                raise TypeError_(
+                    f"field {fld.name} has non-storable type {fld.typ}",
+                    fld.loc)
+            inferred = self.infer_expr(fld.init, cenv)
+            if inferred != fld.typ:
+                raise TypeError_(
+                    f"field {fld.name}: declared {fld.typ}, initialiser has "
+                    f"type {inferred}", fld.loc)
+            field_types[fld.name] = fld.typ
+
+        seen_components: set[str] = set()
+        for comp in contract.components:
+            if comp.name in seen_components:
+                raise TypeError_(f"duplicate component {comp.name}", comp.loc)
+            seen_components.add(comp.name)
+            self._check_component(contract, comp, cenv, field_types)
+
+    def _check_component(self, contract: Contract, comp: Component,
+                         cenv: TypeEnv, field_types: dict[str, ScillaType]) -> None:
+        env = cenv.child()
+        env.bind("_sender", ty.BYSTR20)
+        env.bind("_origin", ty.BYSTR20)
+        env.bind("_amount", UINT128)
+        for p in comp.params:
+            self._check_wf(p.typ, p.loc)
+            env.bind(p.name, p.typ)
+        self._check_stmts(contract, comp.body, env, field_types)
+
+    # -- statements ------------------------------------------------------------------
+
+    def _field_type(self, field_types: dict[str, ScillaType], name: str,
+                    loc: Loc) -> ScillaType:
+        if name not in field_types:
+            raise TypeError_(f"unknown field {name!r}", loc)
+        return field_types[name]
+
+    def _map_path(self, field_types: dict[str, ScillaType], name: str,
+                  keys: tuple[Atom, ...], env: TypeEnv, loc: Loc) -> ScillaType:
+        """Check map keys along a path; return the type at the end."""
+        t = self._field_type(field_types, name, loc)
+        for key in keys:
+            if not isinstance(t, MapType):
+                raise TypeError_(f"too many keys for map field {name}", loc)
+            kt = self._atom_type(key, env)
+            if kt != t.key:
+                raise TypeError_(
+                    f"map {name} key has type {kt}, expected {t.key}", loc)
+            t = t.value
+        return t
+
+    def _check_stmts(self, contract: Contract, stmts: tuple[Stmt, ...],
+                     env: TypeEnv, field_types: dict[str, ScillaType]) -> None:
+        env = env.child()
+        for stmt in stmts:
+            self._check_stmt(contract, stmt, env, field_types)
+
+    def _check_stmt(self, contract: Contract, stmt: Stmt, env: TypeEnv,
+                    field_types: dict[str, ScillaType]) -> None:
+        if isinstance(stmt, Bind):
+            env.bind(stmt.lhs, self.infer_expr(stmt.expr, env))
+            return
+        if isinstance(stmt, Load):
+            env.bind(stmt.lhs, self._field_type(field_types, stmt.field, stmt.loc))
+            return
+        if isinstance(stmt, Store):
+            ft = self._field_type(field_types, stmt.field, stmt.loc)
+            at = self._atom_type(stmt.rhs, env)
+            if at != ft:
+                raise TypeError_(
+                    f"storing {at} into field {stmt.field} of type {ft}",
+                    stmt.loc)
+            return
+        if isinstance(stmt, MapGet):
+            leaf = self._map_path(field_types, stmt.map, stmt.keys, env, stmt.loc)
+            env.bind(stmt.lhs, ty.option_of(leaf))
+            return
+        if isinstance(stmt, MapGetExists):
+            self._map_path(field_types, stmt.map, stmt.keys, env, stmt.loc)
+            env.bind(stmt.lhs, BOOL)
+            return
+        if isinstance(stmt, MapUpdate):
+            leaf = self._map_path(field_types, stmt.map, stmt.keys, env, stmt.loc)
+            at = self._atom_type(stmt.rhs, env)
+            if at != leaf:
+                raise TypeError_(
+                    f"writing {at} into map {stmt.map} entry of type {leaf}",
+                    stmt.loc)
+            return
+        if isinstance(stmt, MapDelete):
+            self._map_path(field_types, stmt.map, stmt.keys, env, stmt.loc)
+            return
+        if isinstance(stmt, ReadBlockchain):
+            env.bind(stmt.lhs, BLOCKCHAIN_ENTRY_TYPES[stmt.entry])
+            return
+        if isinstance(stmt, MatchStmt):
+            st = env.lookup(stmt.scrutinee.name, stmt.loc)
+            for pat, body in stmt.clauses:
+                bindings = self._check_pattern(pat, st, stmt.loc)
+                inner = env.child()
+                for name, t in bindings:
+                    inner.bind(name, t)
+                self._check_stmts(contract, body, inner, field_types)
+            self._check_exhaustive(stmt.clauses, st, stmt.loc)
+            return
+        if isinstance(stmt, Accept):
+            return
+        if isinstance(stmt, Send):
+            at = self._atom_type(stmt.arg, env)
+            if at != ty.list_of(MESSAGE):
+                raise TypeError_(f"send expects List Message, got {at}", stmt.loc)
+            return
+        if isinstance(stmt, Event):
+            at = self._atom_type(stmt.arg, env)
+            if at != MESSAGE:
+                raise TypeError_(f"event expects Message, got {at}", stmt.loc)
+            return
+        if isinstance(stmt, Throw):
+            if stmt.arg is not None:
+                self._atom_type(stmt.arg, env)
+            return
+        if isinstance(stmt, CallProc):
+            try:
+                proc = contract.component(stmt.proc)
+            except KeyError as exc:
+                raise TypeError_(str(exc), stmt.loc) from exc
+            if proc.is_transition:
+                raise TypeError_(
+                    f"cannot call transition {stmt.proc} as a procedure",
+                    stmt.loc)
+            if len(stmt.args) != len(proc.params):
+                raise TypeError_(
+                    f"procedure {stmt.proc} expects {len(proc.params)} "
+                    f"arguments, got {len(stmt.args)}", stmt.loc)
+            for atom, param in zip(stmt.args, proc.params):
+                at = self._atom_type(atom, env)
+                if at != param.typ:
+                    raise TypeError_(
+                        f"procedure {stmt.proc} argument {param.name}: "
+                        f"expected {param.typ}, got {at}", stmt.loc)
+            return
+        raise TypeError_(f"unknown statement {stmt!r}", stmt.loc)
+
+    def _check_exhaustive(self, clauses, scrut_type: ScillaType, loc: Loc) -> None:
+        """Shallow exhaustiveness: warn if some constructor is unhandled."""
+        if not isinstance(scrut_type, ADTType) or scrut_type.name not in self.adts.adts:
+            return
+        covered: set[str] = set()
+        for pat, _body in clauses:
+            if isinstance(pat, (WildcardPat, BinderPat)):
+                return
+            if isinstance(pat, ConstructorPat):
+                covered.add(pat.constructor)
+        all_ctors = {c.name for c in self.adts.adts[scrut_type.name].constructors}
+        missing = all_ctors - covered
+        if missing:
+            self.warnings.append(
+                f"{loc}: match on {scrut_type} does not cover "
+                f"{sorted(missing)}")
+
+    # -- patterns ------------------------------------------------------------------
+
+    def _check_pattern(self, pat: Pattern, scrut: ScillaType,
+                       loc: Loc) -> list[tuple[str, ScillaType]]:
+        if isinstance(pat, WildcardPat):
+            return []
+        if isinstance(pat, BinderPat):
+            return [(pat.name, scrut)]
+        if isinstance(pat, ConstructorPat):
+            if not isinstance(scrut, ADTType):
+                raise TypeError_(
+                    f"constructor pattern {pat.constructor} against "
+                    f"non-ADT type {scrut}", loc)
+            try:
+                adt, cdef = self.adts.lookup_constructor(pat.constructor)
+            except EvalError as exc:
+                raise TypeError_(str(exc), loc) from exc
+            if adt.name != scrut.name:
+                raise TypeError_(
+                    f"constructor {pat.constructor} belongs to {adt.name}, "
+                    f"not {scrut.name}", loc)
+            subst = dict(zip(adt.tparams, scrut.targs))
+            arg_types = [substitute(t, subst) for t in cdef.arg_types]
+            if pat.args and len(pat.args) != len(arg_types):
+                raise TypeError_(
+                    f"constructor {pat.constructor} pattern has "
+                    f"{len(pat.args)} sub-patterns, expects {len(arg_types)}",
+                    loc)
+            bindings: list[tuple[str, ScillaType]] = []
+            for sub, t in zip(pat.args, arg_types):
+                bindings.extend(self._check_pattern(sub, t, loc))
+            return bindings
+        raise TypeError_(f"unknown pattern {pat!r}", loc)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _atom_type(self, atom: Atom, env: TypeEnv) -> ScillaType:
+        if isinstance(atom, Ident):
+            return env.lookup(atom.name, atom.loc)
+        return atom.typ
+
+    def infer_expr(self, expr: Expr, env: TypeEnv) -> ScillaType:
+        if isinstance(expr, Literal):
+            return expr.typ
+        if isinstance(expr, Var):
+            return env.lookup(expr.name, expr.loc)
+        if isinstance(expr, MessageExpr):
+            for _name, atom in expr.fields:
+                self._atom_type(atom, env)
+            return MESSAGE
+        if isinstance(expr, Constr):
+            return self._infer_constr(expr, env)
+        if isinstance(expr, Builtin):
+            try:
+                defn = get_builtin(expr.name)
+            except EvalError as exc:
+                raise TypeError_(str(exc), expr.loc) from exc
+            if len(expr.args) != defn.arity:
+                raise TypeError_(
+                    f"builtin {expr.name} expects {defn.arity} arguments, "
+                    f"got {len(expr.args)}", expr.loc)
+            arg_types = [self._atom_type(a, env) for a in expr.args]
+            try:
+                return defn.type_rule(arg_types)
+            except EvalError as exc:
+                raise TypeError_(str(exc), expr.loc) from exc
+        if isinstance(expr, Let):
+            bound = self.infer_expr(expr.bound, env)
+            if expr.annot is not None and expr.annot != bound:
+                raise TypeError_(
+                    f"let {expr.name}: declared {expr.annot}, inferred "
+                    f"{bound}", expr.loc)
+            inner = env.child()
+            inner.bind(expr.name, bound)
+            return self.infer_expr(expr.body, inner)
+        if isinstance(expr, Fun):
+            self._check_wf(expr.param_type, expr.loc)
+            inner = env.child()
+            inner.bind(expr.param, expr.param_type)
+            return FunType(expr.param_type, self.infer_expr(expr.body, inner))
+        if isinstance(expr, App):
+            ft = env.lookup(expr.func.name, expr.loc)
+            for atom in expr.args:
+                if not isinstance(ft, FunType):
+                    raise TypeError_(
+                        f"applying non-function {expr.func.name} of type "
+                        f"{ft}", expr.loc)
+                at = self._atom_type(atom, env)
+                if at != ft.arg and not isinstance(ft.arg, TypeVar):
+                    raise TypeError_(
+                        f"argument of type {at} where {ft.arg} is expected "
+                        f"(applying {expr.func.name})", expr.loc)
+                ft = ft.ret
+            return ft
+        if isinstance(expr, MatchExpr):
+            st = env.lookup(expr.scrutinee.name, expr.loc)
+            result: ScillaType | None = None
+            for pat, body in expr.clauses:
+                bindings = self._check_pattern(pat, st, expr.loc)
+                inner = env.child()
+                for name, t in bindings:
+                    inner.bind(name, t)
+                bt = self.infer_expr(body, inner)
+                if result is None or isinstance(result, TypeVar):
+                    result = bt
+                elif bt != result and not isinstance(bt, TypeVar):
+                    raise TypeError_(
+                        f"match clauses have different types: {result} vs "
+                        f"{bt}", expr.loc)
+            self._check_exhaustive(expr.clauses, st, expr.loc)
+            assert result is not None
+            return result
+        if isinstance(expr, TFun):
+            return PolyFun(expr.tvar, self.infer_expr(expr.body, env))
+        if isinstance(expr, TApp):
+            ft = env.lookup(expr.func.name, expr.loc)
+            for targ in expr.type_args:
+                if not isinstance(ft, PolyFun):
+                    raise TypeError_(
+                        f"type-applying non-polymorphic {expr.func.name} of "
+                        f"type {ft}", expr.loc)
+                self._check_wf(targ, expr.loc)
+                ft = substitute(ft.body, {ft.tvar: targ})
+            return ft
+        raise TypeError_(f"unknown expression {expr!r}", expr.loc)
+
+    def _infer_constr(self, expr: Constr, env: TypeEnv) -> ScillaType:
+        try:
+            adt, cdef = self.adts.lookup_constructor(expr.constructor)
+        except EvalError as exc:
+            raise TypeError_(str(exc), expr.loc) from exc
+        if len(expr.type_args) != len(adt.tparams):
+            raise TypeError_(
+                f"constructor {expr.constructor} of {adt.name} expects "
+                f"{len(adt.tparams)} type arguments, got "
+                f"{len(expr.type_args)}", expr.loc)
+        subst = dict(zip(adt.tparams, expr.type_args))
+        arg_types = [substitute(t, subst) for t in cdef.arg_types]
+        if len(expr.args) != len(arg_types):
+            raise TypeError_(
+                f"constructor {expr.constructor} expects {len(arg_types)} "
+                f"arguments, got {len(expr.args)}", expr.loc)
+        for atom, want in zip(expr.args, arg_types):
+            got = self._atom_type(atom, env)
+            if got != want and not isinstance(want, TypeVar):
+                raise TypeError_(
+                    f"constructor {expr.constructor} argument of type {got} "
+                    f"where {want} is expected", expr.loc)
+        return ADTType(adt.name, expr.type_args)
+
+
+def typecheck_module(module: Module) -> list[str]:
+    """Check a module; returns warnings, raises TypeError_ on failure."""
+    checker = TypeChecker(module)
+    checker.check_module()
+    return checker.warnings

@@ -1,0 +1,296 @@
+"""Runtime values for the Scilla definitional interpreter.
+
+Values are deliberately simple wrappers.  Primitive values are frozen
+(hashable, usable as map keys); maps are mutable dictionaries owned by
+the contract state and deep-copied at epoch boundaries by the chain
+substrate.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from . import types as ty
+from .ast import Expr
+from .errors import EvalError
+from .types import PrimType, ScillaType
+
+
+class Value:
+    """Base class for all runtime values."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IntVal(Value):
+    """A bounded signed/unsigned integer."""
+
+    value: int
+    typ: PrimType
+
+    def __post_init__(self) -> None:
+        lo, hi = ty.int_bounds(self.typ)
+        if not lo <= self.value <= hi:
+            raise EvalError(f"integer {self.value} out of bounds for {self.typ}")
+
+    def __str__(self) -> str:
+        return f"{self.typ} {self.value}"
+
+
+@dataclass(frozen=True)
+class StringVal(Value):
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class ByStrVal(Value):
+    """A byte string, stored as a ``0x…`` lowercase hex literal."""
+
+    hex: str
+    typ: PrimType
+
+    def __post_init__(self) -> None:
+        if not self.hex.startswith("0x"):
+            raise EvalError(f"malformed byte string {self.hex!r}")
+
+    @property
+    def nbytes(self) -> int:
+        return (len(self.hex) - 2) // 2
+
+    def __str__(self) -> str:
+        return self.hex
+
+
+@dataclass(frozen=True)
+class BNumVal(Value):
+    """A block number."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"BNum {self.value}"
+
+
+@dataclass(frozen=True)
+class ADTVal(Value):
+    """A saturated constructor application (Bool, Option, List, …)."""
+
+    adt: str
+    constructor: str
+    targs: tuple[ScillaType, ...]
+    args: tuple[Value, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.constructor
+        return f"({self.constructor} {' '.join(str(a) for a in self.args)})"
+
+
+@dataclass
+class MapVal(Value):
+    """A mutable finite map; contract state owns these."""
+
+    key_type: ScillaType
+    value_type: ScillaType
+    entries: dict[Value, Value] = field(default_factory=dict)
+
+    def copy(self) -> "MapVal":
+        return MapVal(self.key_type, self.value_type, copy.deepcopy(self.entries))
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k} => {v}" for k, v in self.entries.items())
+        return f"{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class Closure(Value):
+    """A function value with its captured environment."""
+
+    param: str
+    param_type: ScillaType
+    body: Expr
+    env: "Env"
+
+    def __str__(self) -> str:
+        return f"<fun ({self.param}: {self.param_type})>"
+
+
+@dataclass(frozen=True)
+class TypeClosure(Value):
+    """A type-function value (``tfun``)."""
+
+    tvar: str
+    body: Expr
+    env: "Env"
+
+    def __str__(self) -> str:
+        return f"<tfun {self.tvar}>"
+
+
+@dataclass(frozen=True)
+class MsgVal(Value):
+    """A message, event or exception record."""
+
+    fields: tuple[tuple[str, Value], ...]
+
+    def get(self, name: str) -> Value | None:
+        for k, v in self.fields:
+            if k == name:
+                return v
+        return None
+
+    def __str__(self) -> str:
+        inner = "; ".join(f"{k}: {v}" for k, v in self.fields)
+        return f"{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class Env:
+    """An immutable chained environment for closures.
+
+    A plain persistent association structure: lookups walk parent
+    chains.  Kept tiny because Scilla contracts have shallow scopes.
+    """
+
+    bindings: tuple[tuple[str, Value], ...] = ()
+    parent: "Env | None" = None
+
+    def bind(self, name: str, value: Value) -> "Env":
+        return Env(((name, value),), self)
+
+    def bind_many(self, pairs: list[tuple[str, Value]]) -> "Env":
+        return Env(tuple(pairs), self) if pairs else self
+
+    def lookup(self, name: str) -> Value | None:
+        env: Env | None = self
+        while env is not None:
+            for k, v in env.bindings:
+                if k == name:
+                    return v
+            env = env.parent
+        return None
+
+
+# --------------------------------------------------------------------------
+# Convenience constructors used across the codebase.
+# --------------------------------------------------------------------------
+
+TRUE = ADTVal("Bool", "True", ())
+FALSE = ADTVal("Bool", "False", ())
+
+
+def bool_val(flag: bool) -> ADTVal:
+    return TRUE if flag else FALSE
+
+
+def some(value: Value, typ: ScillaType) -> ADTVal:
+    return ADTVal("Option", "Some", (typ,), (value,))
+
+
+def none(typ: ScillaType) -> ADTVal:
+    return ADTVal("Option", "None", (typ,))
+
+
+def nil(typ: ScillaType) -> ADTVal:
+    return ADTVal("List", "Nil", (typ,))
+
+
+def cons(head: Value, tail: Value, typ: ScillaType) -> ADTVal:
+    return ADTVal("List", "Cons", (typ,), (head, tail))
+
+
+def list_to_value(items: list[Value], typ: ScillaType) -> ADTVal:
+    out = nil(typ)
+    for item in reversed(items):
+        out = cons(item, out, typ)
+    return out
+
+
+def value_to_list(v: Value) -> list[Value]:
+    items: list[Value] = []
+    while isinstance(v, ADTVal) and v.constructor == "Cons":
+        items.append(v.args[0])
+        v = v.args[1]
+    return items
+
+
+def pair(a: Value, b: Value, ta: ScillaType, tb: ScillaType) -> ADTVal:
+    return ADTVal("Pair", "Pair", (ta, tb), (a, b))
+
+
+def uint(value: int, width: int = 128) -> IntVal:
+    return IntVal(value, PrimType(f"Uint{width}"))
+
+
+def sint(value: int, width: int = 128) -> IntVal:
+    return IntVal(value, PrimType(f"Int{width}"))
+
+
+def addr(hexstr: str) -> ByStrVal:
+    """Build a ByStr20 address value from a hex string (0x-prefixed)."""
+    body = hexstr[2:] if hexstr.startswith("0x") else hexstr
+    body = body.rjust(40, "0").lower()
+    return ByStrVal("0x" + body, ty.BYSTR20)
+
+
+def type_of_value(v: Value) -> ScillaType:
+    """Recover the Scilla type of a runtime value (best effort)."""
+    if isinstance(v, IntVal):
+        return v.typ
+    if isinstance(v, StringVal):
+        return ty.STRING
+    if isinstance(v, ByStrVal):
+        return v.typ
+    if isinstance(v, BNumVal):
+        return ty.BNUM
+    if isinstance(v, ADTVal):
+        return ty.ADTType(v.adt, v.targs)
+    if isinstance(v, MapVal):
+        return ty.MapType(v.key_type, v.value_type)
+    if isinstance(v, MsgVal):
+        return ty.MESSAGE
+    if isinstance(v, Closure):
+        return ty.FunType(v.param_type, ty.TypeVar("'_ret"))
+    raise EvalError(f"cannot type value {v!r}")
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    """Structural equality used by ``builtin eq`` and map keys."""
+    if isinstance(a, MapVal) and isinstance(b, MapVal):
+        if set(a.entries) != set(b.entries):
+            return False
+        return all(values_equal(v, b.entries[k]) for k, v in a.entries.items())
+    return a == b
+
+
+def canonical(v: Value) -> Any:
+    """A canonical, JSON-ish representation used for hashing/serialisation."""
+    if isinstance(v, IntVal):
+        return {"t": str(v.typ), "v": v.value}
+    if isinstance(v, StringVal):
+        return {"t": "String", "v": v.value}
+    if isinstance(v, ByStrVal):
+        return {"t": str(v.typ), "v": v.hex}
+    if isinstance(v, BNumVal):
+        return {"t": "BNum", "v": v.value}
+    if isinstance(v, ADTVal):
+        return {
+            "t": v.adt,
+            "c": v.constructor,
+            "a": [canonical(a) for a in v.args],
+        }
+    if isinstance(v, MapVal):
+        items = sorted(
+            ((repr(canonical(k)), canonical(val)) for k, val in v.entries.items()),
+            key=lambda kv: kv[0],
+        )
+        return {"t": "Map", "v": items}
+    if isinstance(v, MsgVal):
+        return {"t": "Msg", "v": [(k, canonical(val)) for k, val in v.fields]}
+    raise EvalError(f"cannot serialise value {v!r}")

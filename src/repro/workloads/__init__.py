@@ -1,0 +1,14 @@
+"""Workload generators: the Sec. 5.2 benchmark workloads and the
+synthetic Ethereum trace substitute for Fig. 1."""
+
+from .generators import (
+    ALL_WORKLOADS, CFDonate, FTFund, FTTransfer, NFTMint, NFTTransfer,
+    Payments, ProofIPFSRegister, UDBestow, UDConfig, Workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "ALL_WORKLOADS", "CFDonate", "FTFund", "FTTransfer", "NFTMint",
+    "NFTTransfer", "Payments", "ProofIPFSRegister", "UDBestow", "UDConfig",
+    "Workload", "workload_by_name",
+]

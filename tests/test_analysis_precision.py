@@ -1,0 +1,190 @@
+"""Precision tests for the analysis on higher-order and library code.
+
+Pins down where the analysis is exact (first- and second-order library
+functions, option peels) and where it is deliberately conservative
+(native folds, unknown functions, control-flow-dependent writes) —
+the precision/soundness trade-offs of Sec. 3.4.
+"""
+
+from repro.core.domain import Card, FieldSource, ParamKey, PseudoField
+from repro.core.signature import derive_signature, is_commutative_write
+from repro.core.summary import analyze_module
+from repro.core.joins import JoinKind
+from repro.scilla.parser import parse_module
+
+PF = PseudoField
+
+
+def summary_of(lib: str, fields: str, body: str, params: str = ""):
+    src = f"""
+    scilla_version 0
+    library P
+    let zero = Uint128 0
+    {lib}
+    contract P (owner: ByStr20)
+    {fields}
+    transition Go ({params})
+      {body}
+    end
+    """
+    return analyze_module(parse_module(src))["Go"]
+
+
+BAL = "field bal : Map ByStr20 Uint128 = Emp ByStr20 Uint128"
+
+
+def self_contrib(summary, pf):
+    (write,) = [w for w in summary.writes() if w.pf == pf]
+    return write, write.contrib.get(FieldSource(pf))
+
+
+def test_library_add_function_stays_linear():
+    """A library wrapper around `add` keeps cardinality 1 — the
+    first-order EFun substitution is exact."""
+    s = summary_of(
+        lib="let add_one_to = fun (x: Uint128) => fun (y: Uint128) =>"
+            " builtin add x y",
+        fields=BAL,
+        body="b_opt <- bal[who];\n"
+             " b = match b_opt with | Some v => v | None => zero end;\n"
+             " nb = add_one_to b amt;\n"
+             " bal[who] := nb",
+        params="who: ByStr20, amt: Uint128")
+    write, contrib = self_contrib(s, PF("bal", (ParamKey("who"),)))
+    assert contrib.card == Card.ONE
+    assert contrib.ops == frozenset({"add"})
+    assert is_commutative_write(write)
+
+
+def test_library_double_function_detected_nonlinear():
+    """x + x through a library function must surface cardinality ω."""
+    s = summary_of(
+        lib="let double = fun (x: Uint128) => builtin add x x",
+        fields=BAL,
+        body="b_opt <- bal[who];\n"
+             " b = match b_opt with | Some v => v | None => zero end;\n"
+             " nb = double b;\n"
+             " bal[who] := nb",
+        params="who: ByStr20")
+    write, contrib = self_contrib(s, PF("bal", (ParamKey("who"),)))
+    assert contrib.card == Card.MANY
+    assert not is_commutative_write(write)
+
+
+def test_second_order_application_degrades_conservatively():
+    """Passing a *function* as an argument exceeds the precision our
+    contribution types track through sums: the result degrades to ⊤,
+    the write is not commutative, and the transition is not sharded —
+    conservative but sound (the paper supports "up to second-order"
+    with type-level deferral; we keep the simpler, safe behaviour)."""
+    from repro.core.domain import TopContrib
+    s = summary_of(
+        lib="let apply_fn = fun (f: Uint128 -> Uint128) =>"
+            " fun (x: Uint128) => f x\n"
+            "let bump = fun (v: Uint128) =>"
+            " let one = Uint128 1 in builtin add v one",
+        fields=BAL,
+        body="b_opt <- bal[who];\n"
+             " b = match b_opt with | Some v => v | None => zero end;\n"
+             " nb = apply_fn bump b;\n"
+             " bal[who] := nb",
+        params="who: ByStr20")
+    (write,) = s.writes()
+    assert isinstance(write.contrib, TopContrib)
+    assert not is_commutative_write(write)
+
+
+def test_native_fold_is_conservative():
+    """Values produced by native folds scale arguments by ω inexactly:
+    a write computed from a fold must never be marked commutative."""
+    s = summary_of(
+        lib="",
+        fields="field total : Uint128 = Uint128 0",
+        body="t <- total;\n"
+             " nil = Nil {Uint128};\n"
+             " l = Cons {Uint128} t nil;\n"
+             " f = fun (acc: Uint128) => fun (x: Uint128) =>"
+             " builtin add acc x;\n"
+             " folder = @list_foldl Uint128 Uint128;\n"
+             " nt = folder f zero l;\n"
+             " total := nt")
+    write, contrib = self_contrib(s, PF("total"))
+    assert not is_commutative_write(write)
+
+
+def test_conditional_write_value_not_commutative():
+    """A write whose value depends on a branch over the field itself
+    has a Cond (or inexact) contribution and must not be IntMerged."""
+    s = summary_of(
+        lib="",
+        fields="field n : Uint128 = Uint128 0",
+        body="x <- n;\n"
+             " big = builtin lt zero x;\n"
+             " nv = match big with\n"
+             "      | True => builtin add x amt\n"
+             "      | False => zero\n"
+             "      end;\n"
+             " n := nv",
+        params="amt: Uint128")
+    write, contrib = self_contrib(s, PF("n"))
+    assert not is_commutative_write(write)
+
+
+def test_mul_by_constant_not_commutative():
+    """x * k does not commute with x + k' — ops outside {add,sub}
+    disqualify even exact linear writes."""
+    s = summary_of(
+        lib="",
+        fields="field n : Uint128 = Uint128 0",
+        body="x <- n;\n"
+             " two = Uint128 2;\n"
+             " nv = builtin mul x two;\n"
+             " n := nv")
+    write, _ = self_contrib(s, PF("n"))
+    assert not is_commutative_write(write)
+
+
+def test_swap_via_two_fields_needs_ownership_of_both():
+    src_summary = summary_of(
+        lib="",
+        fields="field a : Uint128 = Uint128 0\n"
+              "field b : Uint128 = Uint128 0",
+        body="x <- a;\n y <- b;\n a := y;\n b := x")
+    sig = derive_signature("C", {"Go": src_summary}, ("Go",))
+    from repro.core.constraints import Owns
+    assert Owns(PF("a")) in sig.constraints["Go"]
+    assert Owns(PF("b")) in sig.constraints["Go"]
+    assert sig.joins["a"] is JoinKind.OWN_OVERWRITE
+
+
+def test_add_then_sub_same_field_twice_not_commutative():
+    """Reading once but writing the field into itself twice (x+x-x
+    pattern) must be rejected despite ops ⊆ {add, sub}."""
+    s = summary_of(
+        lib="",
+        fields="field n : Uint128 = Uint128 0",
+        body="x <- n;\n"
+             " y = builtin add x x;\n"
+             " z = builtin sub y x;\n"
+             " n := z")
+    write, contrib = self_contrib(s, PF("n"))
+    assert contrib.card == Card.MANY
+    assert not is_commutative_write(write)
+
+
+def test_exists_guard_keeps_ownership_but_allows_overwrite_sharding():
+    """The one-donation-per-backer pattern: exists + overwrite shards
+    per entry (OwnOverwrite), not commutatively."""
+    s = summary_of(
+        lib="",
+        fields=BAL,
+        body="seen <- exists bal[_sender];\n"
+             " match seen with\n"
+             " | True => throw\n"
+             " | False => bal[_sender] := amt\n"
+             " end",
+        params="amt: Uint128")
+    sig = derive_signature("C", {"Go": s}, ("Go",))
+    from repro.core.constraints import Owns
+    assert Owns(PF("bal", (ParamKey("_sender"),))) in sig.constraints["Go"]
+    assert sig.joins["bal"] is JoinKind.OWN_OVERWRITE

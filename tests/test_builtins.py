@@ -1,0 +1,208 @@
+"""Builtin operation tests: checked arithmetic, maps, hashing."""
+
+import pytest
+
+from repro.scilla.builtins import (
+    COMMUTATIVE_ADDITIVE, get_builtin, make_schnorr_signature,
+)
+from repro.scilla.errors import EvalError, OutOfBoundsError
+from repro.scilla import types as ty
+from repro.scilla.values import (
+    ADTVal, BNumVal, ByStrVal, IntVal, MapVal, StringVal, bool_val,
+    uint, sint, value_to_list,
+)
+
+
+def run(name, *args):
+    return get_builtin(name).impl(list(args))
+
+
+# -- integer arithmetic ------------------------------------------------------
+
+def test_add():
+    assert run("add", uint(2), uint(3)) == uint(5)
+
+
+def test_add_overflow_uint32():
+    a = IntVal(2**32 - 1, ty.UINT32)
+    with pytest.raises(OutOfBoundsError):
+        run("add", a, IntVal(1, ty.UINT32))
+
+
+def test_sub_underflow_unsigned():
+    with pytest.raises(OutOfBoundsError):
+        run("sub", uint(1), uint(2))
+
+
+def test_sub_signed_allows_negative():
+    assert run("sub", sint(1), sint(2)) == sint(-1)
+
+
+def test_signed_overflow_detected():
+    top = IntVal(2**31 - 1, ty.INT32)
+    with pytest.raises(OutOfBoundsError):
+        run("add", top, IntVal(1, ty.INT32))
+
+
+def test_mul():
+    assert run("mul", uint(6), uint(7)) == uint(42)
+
+
+def test_div_truncates_toward_zero():
+    assert run("div", sint(-7), sint(2)) == sint(-3)
+
+
+def test_div_by_zero():
+    with pytest.raises(EvalError):
+        run("div", uint(1), uint(0))
+
+
+def test_rem_sign_follows_dividend():
+    assert run("rem", sint(-7), sint(2)) == sint(-1)
+
+
+def test_pow():
+    assert run("pow", uint(2), IntVal(10, ty.UINT32)) == uint(1024)
+
+
+def test_mixed_type_arithmetic_rejected():
+    with pytest.raises(EvalError):
+        run("add", uint(1), IntVal(1, ty.UINT32))
+
+
+def test_lt():
+    assert run("lt", uint(1), uint(2)) == bool_val(True)
+    assert run("lt", uint(2), uint(2)) == bool_val(False)
+
+
+def test_commutative_additive_set():
+    assert COMMUTATIVE_ADDITIVE == {"add", "sub"}
+
+
+# -- eq, strings, bystr --------------------------------------------------------
+
+def test_eq_on_addresses():
+    a = ByStrVal("0x" + "ab" * 20, ty.BYSTR20)
+    b = ByStrVal("0x" + "ab" * 20, ty.BYSTR20)
+    assert run("eq", a, b) == bool_val(True)
+
+
+def test_eq_on_adts():
+    assert run("eq", bool_val(True), bool_val(True)) == bool_val(True)
+    assert run("eq", bool_val(True), bool_val(False)) == bool_val(False)
+
+
+def test_concat_strings():
+    assert run("concat", StringVal("foo"), StringVal("bar")) == \
+        StringVal("foobar")
+
+
+def test_concat_bystr_widths_add():
+    a = ByStrVal("0x" + "00" * 20, ty.BYSTR20)
+    out = run("concat", a, a)
+    assert out.nbytes == 40
+
+
+def test_strlen_substr():
+    s = StringVal("hello")
+    assert run("strlen", s) == IntVal(5, ty.UINT32)
+    assert run("substr", s, IntVal(1, ty.UINT32),
+               IntVal(3, ty.UINT32)) == StringVal("ell")
+
+
+def test_substr_out_of_bounds():
+    with pytest.raises(EvalError):
+        run("substr", StringVal("hi"), IntVal(1, ty.UINT32),
+            IntVal(5, ty.UINT32))
+
+
+# -- hashing and signatures -----------------------------------------------------
+
+def test_sha256_deterministic_and_typed():
+    h1 = run("sha256hash", StringVal("data"))
+    h2 = run("sha256hash", StringVal("data"))
+    assert h1 == h2
+    assert h1.typ == ty.PrimType("ByStr32")
+
+
+def test_sha256_differs_on_different_input():
+    assert run("sha256hash", StringVal("a")) != \
+        run("sha256hash", StringVal("b"))
+
+
+def test_schnorr_roundtrip():
+    pubkey = ByStrVal("0x01", ty.PrimType("ByStr"))
+    msg = ByStrVal("0x" + "11" * 32, ty.PrimType("ByStr32"))
+    sig = make_schnorr_signature(pubkey, msg)
+    assert run("schnorr_verify", pubkey, msg, sig) == bool_val(True)
+    wrong = run("sha256hash", StringVal("nope"))
+    assert run("schnorr_verify", pubkey, msg, wrong) == bool_val(False)
+
+
+# -- block numbers ----------------------------------------------------------------
+
+def test_blt_badd():
+    assert run("blt", BNumVal(1), BNumVal(2)) == bool_val(True)
+    assert run("badd", BNumVal(5), uint(3)) == BNumVal(8)
+
+
+# -- conversions --------------------------------------------------------------------
+
+def test_to_uint32_in_range():
+    out = run("to_uint32", uint(7))
+    assert out.constructor == "Some"
+    assert out.args[0] == IntVal(7, ty.UINT32)
+
+
+def test_to_uint32_out_of_range_gives_none():
+    out = run("to_uint32", uint(2**40))
+    assert out.constructor == "None"
+
+
+def test_to_nat():
+    out = run("to_nat", IntVal(2, ty.UINT32))
+    assert out.constructor == "Succ"
+    assert out.args[0].constructor == "Succ"
+
+
+# -- pure map builtins -----------------------------------------------------------------
+
+def _map(**entries):
+    m = MapVal(ty.STRING, ty.UINT128)
+    for k, v in entries.items():
+        m.entries[StringVal(k)] = uint(v)
+    return m
+
+
+def test_put_is_persistent():
+    m = _map(a=1)
+    out = run("put", m, StringVal("b"), uint(2))
+    assert StringVal("b") in out.entries
+    assert StringVal("b") not in m.entries  # original untouched
+
+
+def test_get_present_and_absent():
+    m = _map(a=1)
+    assert run("get", m, StringVal("a")).constructor == "Some"
+    assert run("get", m, StringVal("zz")).constructor == "None"
+
+
+def test_contains_and_size():
+    m = _map(a=1, b=2)
+    assert run("contains", m, StringVal("a")) == bool_val(True)
+    assert run("size", m) == IntVal(2, ty.UINT32)
+
+
+def test_remove_persistent():
+    m = _map(a=1)
+    out = run("remove", m, StringVal("a"))
+    assert not out.entries
+    assert m.entries
+
+
+def test_to_list_sorted_pairs():
+    m = _map(b=2, a=1)
+    items = value_to_list(run("to_list", m))
+    assert len(items) == 2
+    assert all(isinstance(p, ADTVal) and p.constructor == "Pair"
+               for p in items)

@@ -1,0 +1,111 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_analyze_corpus_contract(capsys):
+    code, out = run_cli(capsys, "analyze", "corpus:Crowdfunding")
+    assert code == 0
+    assert "Summary(Donate)" in out
+    assert "AcceptFunds" in out
+    assert "µs" in out
+
+
+def test_analyze_file(tmp_path, capsys):
+    from repro.contracts import CORPUS
+    path = tmp_path / "c.scilla"
+    path.write_text(CORPUS["HelloWorld"])
+    code, out = run_cli(capsys, "analyze", str(path))
+    assert code == 0
+    assert "Summary(SetHello)" in out
+
+
+def test_analyze_unknown_corpus_name():
+    with pytest.raises(SystemExit):
+        main(["analyze", "corpus:Nonexistent"])
+
+
+def test_signature_with_selection(capsys):
+    code, out = run_cli(capsys, "signature", "corpus:FungibleToken",
+                        "Mint", "Transfer")
+    assert code == 0
+    assert "ShardingSignature" in out
+    assert "IntMerge" in out
+
+
+def test_signature_ownership_only(capsys):
+    code, out = run_cli(capsys, "signature", "corpus:FungibleToken",
+                        "Transfer", "--ownership-only")
+    assert code == 0
+    assert "IntMerge" not in out
+    assert "OwnOverwrite" in out
+
+
+def test_signature_unknown_transition():
+    with pytest.raises(SystemExit):
+        main(["signature", "corpus:FungibleToken", "Ghost"])
+
+
+def test_solve(capsys):
+    code, out = run_cli(capsys, "solve", "corpus:NonfungibleToken")
+    assert code == 0
+    assert "largest good-enough signature: 3" in out
+    assert out.count("maximal:") == 2
+
+
+def test_diagnose(capsys):
+    code, out = run_cli(capsys, "diagnose", "corpus:NonfungibleToken")
+    assert code == 0
+    assert "Approve: NOT shardable" in out
+    assert "state-derived map key" in out
+
+
+def test_repair_prints_rewritten_contract(capsys):
+    code, out = run_cli(capsys, "repair", "corpus:NonfungibleToken",
+                        "Approve")
+    assert code == 0
+    assert "expected_actual_owner" in out
+    assert "RequireEq" in out
+    # The printed contract must be re-parseable.
+    from repro.scilla.parser import parse_module
+    printed = out[out.index("scilla_version"):]
+    parse_module(printed)
+
+
+def test_repair_nothing_to_do(capsys):
+    code, out = run_cli(capsys, "repair", "corpus:HelloWorld")
+    assert code == 0
+    assert "nothing to repair" in out
+
+
+def test_bench_table(capsys):
+    code, out = run_cli(capsys, "bench", "table")
+    assert code == 0
+    assert "FungibleToken" in out
+    assert "✓" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_corpus_export_roundtrips(tmp_path, capsys):
+    code, out = run_cli(capsys, "corpus", "--export", str(tmp_path))
+    assert code == 0
+    files = sorted(tmp_path.glob("*.scilla"))
+    from repro.contracts import CORPUS
+    assert len(files) == len(CORPUS)
+    # Exported files are themselves analysable through the CLI.
+    code, out = run_cli(capsys, "analyze",
+                        str(tmp_path / "HelloWorld.scilla"))
+    assert code == 0
+    assert "Summary(SetHello)" in out

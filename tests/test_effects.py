@@ -1,0 +1,119 @@
+"""Unit tests for the effect representations and Summary utilities."""
+
+from repro.core.domain import (
+    CT, Card, ConstSource, Contrib, FieldSource, ParamKey, PseudoField,
+    TOP,
+)
+from repro.core.effects import (
+    AcceptFunds, Condition, MsgInfo, RECIP_PARAM, Read, SendMsg,
+    Summary, TopEffect, Write, condition_mentions,
+)
+
+PF = PseudoField
+
+
+def field_ct(pf, card=Card.ONE, ops=frozenset()):
+    return CT.of({FieldSource(pf): Contrib(card, ops)})
+
+
+def test_summary_add_deduplicates():
+    s = Summary("T", ())
+    s.add(Read(PF("f")))
+    s.add(Read(PF("f")))
+    assert len(s.effects) == 1
+
+
+def test_summary_accessors():
+    s = Summary("T", ("x",))
+    s.add(Read(PF("f")))
+    s.add(Write(PF("g"), CT()))
+    s.add(Condition(CT()))
+    s.add(AcceptFunds())
+    s.add(SendMsg((MsgInfo(RECIP_PARAM, "x", True),)))
+    assert len(s.reads()) == 1
+    assert len(s.writes()) == 1
+    assert len(s.conditions()) == 1
+    assert s.accepts_funds()
+    assert len(s.sends()) == 1
+    assert s.written_fields() == {"g"}
+
+
+def test_has_top_variants():
+    plain = Summary("T", ())
+    plain.add(Read(PF("f")))
+    assert not plain.has_top
+
+    with_top_effect = Summary("T", ())
+    with_top_effect.add(TopEffect("reason"))
+    assert with_top_effect.has_top
+
+    with_top_send = Summary("T", ())
+    with_top_send.add(SendMsg(()))
+    assert with_top_send.has_top
+
+    with_top_write = Summary("T", ())
+    with_top_write.add(Write(PF("f"), TOP))
+    assert with_top_write.has_top
+
+
+def test_sendmsg_is_top_only_when_empty():
+    assert SendMsg(()).is_top
+    assert not SendMsg((MsgInfo(),)).is_top
+
+
+def test_condition_mentions_field():
+    s = Summary("T", ())
+    s.add(Condition(field_ct(PF("f", (ParamKey("x"),)))))
+    assert condition_mentions(s, PF("f", (ParamKey("x"),)))
+    assert condition_mentions(s, PF("f", (ParamKey("y"),)))  # may alias
+    assert not condition_mentions(s, PF("g", (ParamKey("x"),)))
+
+
+def test_condition_mentions_top_is_conservative():
+    s = Summary("T", ())
+    s.add(Condition(TOP))
+    assert condition_mentions(s, PF("anything"))
+
+
+def test_dedupe_keeps_distinct_conditions():
+    s = Summary("T", ())
+    s.add(Condition(field_ct(PF("f"))))
+    s.add(Condition(field_ct(PF("g"))))
+    s.dedupe_conditions()
+    assert len(s.conditions()) == 2
+
+
+def test_dedupe_drops_subset_condition():
+    s = Summary("T", ())
+    both = CT.of({
+        FieldSource(PF("f")): Contrib(Card.ZERO, frozenset({"Cond"})),
+        FieldSource(PF("g")): Contrib(Card.ZERO, frozenset({"Cond"})),
+    })
+    s.add(Condition(field_ct(PF("f"))))
+    s.add(Condition(both))
+    s.dedupe_conditions()
+    assert len(s.conditions()) == 1
+    (kept,) = s.conditions()
+    assert kept.contrib == both
+
+
+def test_dedupe_ignores_constant_only_differences():
+    s = Summary("T", ())
+    with_const = CT.of({
+        FieldSource(PF("f")): Contrib(Card.ZERO, frozenset({"Cond"})),
+        ConstSource("Uint128|0"): Contrib(Card.ZERO, frozenset({"Cond"})),
+    })
+    s.add(Condition(with_const))
+    s.add(Condition(field_ct(PF("f"))))
+    s.dedupe_conditions()
+    assert len(s.conditions()) == 1
+
+
+def test_effect_string_rendering():
+    assert str(Read(PF("balances", (ParamKey("_sender"),)))) == \
+        "Read(balances[_sender])"
+    w = Write(PF("m", (ParamKey("k"),)), CT(), is_delete=True)
+    assert str(w).startswith("Delete(")
+    assert str(AcceptFunds()) == "AcceptFunds"
+    assert "⊤" in str(SendMsg(()))
+    assert "to=x" in str(SendMsg((MsgInfo(RECIP_PARAM, "x", True),)))

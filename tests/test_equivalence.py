@@ -1,0 +1,258 @@
+"""The paper's core soundness property (DESIGN.md invariant 1).
+
+Executing transactions sharded — dispatched by a CoSplit signature,
+run in parallel lanes against the epoch-start state, merged with the
+per-field join operations — must be equivalent to *some* sequential
+order consistent with the per-lane orders.  Concretely: replaying the
+successfully-committed transactions sequentially in lane-concatenation
+order (shard 0, shard 1, …, DS) on a fresh contract state must
+reproduce the sharded final state exactly.
+
+A second determinism property: for workloads whose transactions always
+succeed, the final state is independent of the number of shards.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.chain import Network, call
+from repro.contracts import CORPUS
+from repro.scilla.interpreter import Interpreter, TxContext
+from repro.scilla.values import (
+    BNumVal, IntVal, StringVal, addr, canonical, uint,
+)
+from repro.scilla import types as ty
+
+TOKEN = "0x" + "c0" * 20
+ADMIN = "0x" + "ad" * 20
+USERS = ["0x" + f"{i:040x}" for i in range(1, 13)]
+
+FT_PARAMS = {
+    "contract_owner": addr(ADMIN), "name": StringVal("T"),
+    "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+    "init_supply": uint(0),
+}
+
+
+def state_snapshot(state) -> dict:
+    snap = {name: canonical(value) for name, value in state.fields.items()}
+    snap["_balance"] = state.balance
+    return snap
+
+
+def run_sharded(source, params, selection, epochs, n_shards):
+    """Run the given epochs sharded; return (final snapshot,
+    lane-ordered successful transactions, blocks).
+
+    Transactions within one epoch all execute against the epoch-start
+    state, so scenarios with data dependencies (mint before transfer)
+    must put the dependent transactions in a later epoch — exactly as
+    on the real chain.
+    """
+    net = Network(n_shards)
+    net.create_account(ADMIN)
+    for u in USERS:
+        net.create_account(u)
+    net.deploy(source, TOKEN, params, sharded_transitions=selection)
+    committed = []
+    blocks = []
+    for txns in epochs:
+        block = net.process_epoch(list(txns), unlimited=True)
+        blocks.append(block)
+        for mb in block.microblocks:
+            committed.extend(r.tx for r in mb.receipts if r.success)
+        committed.extend(r.tx for r in block.ds_receipts if r.success)
+    return state_snapshot(net.contracts[TOKEN].state), committed, blocks
+
+
+def replay_sequentially(source, params, txns):
+    """Apply transactions one by one on a fresh state."""
+    from repro.scilla.parser import parse_module
+    interp = Interpreter(parse_module(source, "replay"))
+    state = interp.deploy(TOKEN, dict(params))
+    for tx in txns:
+        result = interp.run_transition(
+            state, tx.transition, tx.args_dict(),
+            TxContext(sender=tx.sender, amount=tx.amount, block_number=1))
+        assert result.success, (
+            f"replay diverged: {tx} failed with {result.error}")
+        state.balance += sum(  # mirror the chain's payout handling
+            -m.amount for m in result.messages if m.amount > 0)
+    return state_snapshot(state)
+
+
+def ft_mints_and_transfers():
+    mints = [
+        call(ADMIN, TOKEN, "Mint",
+             {"recipient": addr(u), "amount": uint(1000)}, nonce=i + 1)
+        for i, u in enumerate(USERS)
+    ]
+    transfers = []
+    for i, u in enumerate(USERS):
+        transfers.append(call(u, TOKEN, "Transfer",
+                              {"to": addr(USERS[(i + 3) % len(USERS)]),
+                               "amount": uint(10 + i)}, nonce=1))
+        transfers.append(call(u, TOKEN, "Transfer",
+                              {"to": addr(USERS[(i + 5) % len(USERS)]),
+                               "amount": uint(7)}, nonce=2))
+    return [mints, transfers]
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+def test_ft_sharded_equals_sequential_replay(n_shards):
+    epochs = ft_mints_and_transfers()
+    total = sum(len(e) for e in epochs)
+    sharded, committed, _ = run_sharded(
+        CORPUS["FungibleToken"], FT_PARAMS,
+        ("Mint", "Transfer", "TransferFrom"), epochs, n_shards)
+    assert len(committed) == total  # nothing fails in this scenario
+    replayed = replay_sequentially(CORPUS["FungibleToken"], FT_PARAMS,
+                                   committed)
+    assert sharded == replayed
+
+
+def test_ft_final_state_independent_of_shard_count():
+    epochs = ft_mints_and_transfers()
+    total = sum(len(e) for e in epochs)
+    snapshots = []
+    for n_shards in (1, 2, 4, 6):
+        snap, committed, _ = run_sharded(
+            CORPUS["FungibleToken"], FT_PARAMS,
+            ("Mint", "Transfer", "TransferFrom"), epochs, n_shards)
+        assert len(committed) == total
+        snapshots.append(snap)
+    assert all(s == snapshots[0] for s in snapshots)
+
+
+def test_concurrent_adds_to_same_entry_merge_correctly():
+    """Many senders transfer to ONE recipient: every shard contributes
+    an IntMerge delta to the same balance entry."""
+    target = USERS[0]
+    mints = [call(ADMIN, TOKEN, "Mint",
+                  {"recipient": addr(u), "amount": uint(100)},
+                  nonce=i + 1)
+             for i, u in enumerate(USERS)]
+    transfers = [call(u, TOKEN, "Transfer",
+                      {"to": addr(target), "amount": uint(25)}, nonce=1)
+                 for u in USERS[1:]]
+    sharded, committed, _ = run_sharded(
+        CORPUS["FungibleToken"], FT_PARAMS,
+        ("Mint", "Transfer", "TransferFrom"), [mints, transfers], 4)
+    assert len(committed) == len(mints) + len(transfers)
+    replayed = replay_sequentially(CORPUS["FungibleToken"], FT_PARAMS,
+                                   committed)
+    assert sharded == replayed
+    # And the target's balance is the sum of all contributions.
+    net_balances = sharded["balances"]["v"]
+    target_entry = [v for k, v in net_balances
+                    if addr(target).hex in k]
+    assert target_entry[0]["v"] == 100 + 25 * (len(USERS) - 1)
+
+
+def test_failed_transactions_leave_no_trace():
+    mints = [call(ADMIN, TOKEN, "Mint",
+                  {"recipient": addr(USERS[0]), "amount": uint(10)},
+                  nonce=1)]
+    # Overdrafts from several users who have no tokens at all.
+    overdrafts = [call(u, TOKEN, "Transfer",
+                       {"to": addr(USERS[0]), "amount": uint(999)},
+                       nonce=1)
+                  for u in USERS[1:6]]
+    sharded, committed, _ = run_sharded(
+        CORPUS["FungibleToken"], FT_PARAMS,
+        ("Mint", "Transfer", "TransferFrom"), [mints, overdrafts], 3)
+    assert len(committed) == 1
+    replayed = replay_sequentially(CORPUS["FungibleToken"], FT_PARAMS,
+                                   committed)
+    assert sharded == replayed
+
+
+# -- NFT: ownership-strategy equivalence ---------------------------------------
+
+NFT_PARAMS = {
+    "contract_owner": addr(ADMIN),
+    "name": StringVal("N"), "symbol": StringVal("N"),
+}
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_nft_mint_and_transfer_equivalence(n_shards):
+    mints = [call(ADMIN, TOKEN, "Mint",
+                  {"to": addr(USERS[i % len(USERS)]),
+                   "token_id": IntVal(i, ty.PrimType("Uint256"))},
+                  nonce=i + 1)
+             for i in range(20)]
+    transfers = []
+    owner_nonces: dict[str, int] = {}
+    for i in range(20):
+        owner = USERS[i % len(USERS)]
+        owner_nonces[owner] = owner_nonces.get(owner, 0) + 1
+        transfers.append(call(owner, TOKEN, "Transfer",
+                              {"token_owner": addr(owner),
+                               "to": addr(USERS[(i + 1) % len(USERS)]),
+                               "token_id": IntVal(i, ty.PrimType("Uint256"))},
+                              nonce=owner_nonces[owner]))
+    sharded, committed, _ = run_sharded(
+        CORPUS["NonfungibleToken"], NFT_PARAMS, ("Mint", "Transfer"),
+        [mints, transfers], n_shards)
+    assert len(committed) == len(mints) + len(transfers)
+    replayed = replay_sequentially(CORPUS["NonfungibleToken"],
+                                   NFT_PARAMS, committed)
+    assert sharded == replayed
+
+
+# -- property-based: random FT workloads ------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["mint", "transfer", "allow", "transfer_from"]),
+        st.integers(0, len(USERS) - 1),
+        st.integers(0, len(USERS) - 1),
+        st.integers(1, 50),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_ops, st.sampled_from([2, 3, 5]))
+def test_random_ft_workload_equivalence(ops, n_shards):
+    txns = []
+    nonces: dict[str, int] = {}
+
+    def next_nonce(sender):
+        nonces[sender] = nonces.get(sender, 0) + 1
+        return nonces[sender]
+
+    # Give everyone something to move around in an earlier epoch.
+    setup = [call(ADMIN, TOKEN, "Mint",
+                  {"recipient": addr(u), "amount": uint(200)},
+                  nonce=next_nonce(ADMIN))
+             for u in USERS]
+    for op, i, j, amount in ops:
+        a, b = USERS[i], USERS[j]
+        if op == "mint":
+            txns.append(call(ADMIN, TOKEN, "Mint",
+                             {"recipient": addr(a),
+                              "amount": uint(amount)},
+                             nonce=next_nonce(ADMIN)))
+        elif op == "transfer" and a != b:
+            txns.append(call(a, TOKEN, "Transfer",
+                             {"to": addr(b), "amount": uint(amount)},
+                             nonce=next_nonce(a)))
+        elif op == "allow":
+            txns.append(call(a, TOKEN, "IncreaseAllowance",
+                             {"spender": addr(b), "amount": uint(amount)},
+                             nonce=next_nonce(a)))
+        elif op == "transfer_from" and a != b:
+            txns.append(call(b, TOKEN, "TransferFrom",
+                             {"from": addr(a), "to": addr(b),
+                              "amount": uint(amount)},
+                             nonce=next_nonce(b)))
+    sharded, committed, _ = run_sharded(
+        CORPUS["FungibleToken"], FT_PARAMS,
+        ("Mint", "Transfer", "TransferFrom"), [setup, txns], n_shards)
+    replayed = replay_sequentially(CORPUS["FungibleToken"], FT_PARAMS,
+                                   committed)
+    assert sharded == replayed

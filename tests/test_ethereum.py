@@ -1,0 +1,62 @@
+"""Synthetic Ethereum trace tests (the Fig. 1 substrate)."""
+
+import random
+
+import pytest
+
+from repro.workloads import ethereum as eth
+
+
+def test_type_mix_sums_to_one():
+    for block in (0, 10**6, 5 * 10**6, 10**7):
+        mix = eth.type_mix(block)
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+        assert all(share >= 0 for share in mix.values())
+
+
+def test_transfers_decline_monotonically():
+    shares = [eth.type_mix(b)[eth.TRANSFER]
+              for b in range(0, 10**7, 10**6)]
+    assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+
+def test_single_calls_rise_to_paper_level():
+    assert eth.type_mix(0)[eth.SINGLE_CALL] < 0.2
+    assert eth.type_mix(10**7)[eth.SINGLE_CALL] >= 0.5
+
+
+def test_erc20_share_rises():
+    assert eth.erc20_share(0) < eth.erc20_share(9 * 10**6)
+    assert eth.erc20_share(9 * 10**6) > 0.6
+
+
+def test_generate_block_classifies_all_txns():
+    rng = random.Random(1)
+    txns = eth.generate_block(5 * 10**6, rng, txns_per_block=100)
+    assert len(txns) == 100
+    kinds = {t.kind for t in txns}
+    assert kinds <= {eth.TRANSFER, eth.SINGLE_CALL, eth.MULTI_CALL,
+                     eth.OTHER}
+    for t in txns:
+        if t.kind == eth.SINGLE_CALL:
+            assert t.subkind in (eth.ERC20_CALL, eth.OTHER_CALL)
+        else:
+            assert t.subkind == ""
+
+
+def test_sample_blocks_deterministic_and_sorted():
+    a = eth.sample_blocks(100, seed=3)
+    b = eth.sample_blocks(100, seed=3)
+    assert a == b == sorted(a)
+    assert len(set(a)) == 100
+
+
+def test_margin_of_error_matches_paper_scale():
+    """The paper: 1.1M of ~700M transactions → ~1% margin at 99%."""
+    margin = eth.margin_of_error(1_100_000, 700_000_000)
+    assert 0.001 < margin < 0.01 or abs(margin - 0.01) < 0.01
+
+
+def test_margin_shrinks_with_sample_size():
+    assert eth.margin_of_error(10_000, 10**8) > \
+        eth.margin_of_error(1_000_000, 10**8)

@@ -1,0 +1,104 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.scilla.errors import LexError
+from repro.scilla.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == "eof"
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("let letx transition Transfer")
+    assert [(t.kind, t.value) for t in toks[:-1]] == [
+        ("keyword", "let"), ("id", "letx"),
+        ("keyword", "transition"), ("cid", "Transfer"),
+    ]
+
+
+def test_underscore_identifiers_are_ids():
+    toks = tokenize("_sender _amount _tag")
+    assert all(t.kind == "id" for t in toks[:-1])
+
+
+def test_lone_underscore_is_wildcard_symbol():
+    tok = tokenize("_")[0]
+    assert (tok.kind, tok.value) == ("sym", "_")
+
+
+def test_type_variable():
+    tok = tokenize("'A")[0]
+    assert (tok.kind, tok.value) == ("tvar", "'A")
+
+
+def test_integer_literal():
+    tok = tokenize("42")[0]
+    assert (tok.kind, tok.value) == ("int", "42")
+
+
+def test_negative_integer_literal():
+    tok = tokenize("-17")[0]
+    assert (tok.kind, tok.value) == ("int", "-17")
+
+
+def test_hex_literal_lowercased():
+    tok = tokenize("0xAbCd")[0]
+    assert (tok.kind, tok.value) == ("hex", "0xabcd")
+
+
+def test_string_literal_with_escapes():
+    tok = tokenize(r'"a\"b\nc"')[0]
+    assert tok.kind == "string"
+    assert tok.value == 'a"b\nc'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"unterminated')
+
+
+def test_nested_comments():
+    toks = tokenize("a (* outer (* inner *) still outer *) b")
+    assert values("a (* outer (* inner *) still outer *) b") == ["a", "b"]
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("(* never closed")
+
+
+def test_multichar_symbols_greedy():
+    assert values("x := y <- f => t -> u") == [
+        "x", ":=", "y", "<-", "f", "=>", "t", "->", "u"]
+
+
+def test_colon_vs_assign():
+    # ``:`` alone must not swallow the next char when it is ``:=``.
+    assert values("a : b := c") == ["a", ":", "b", ":=", "c"]
+
+
+def test_locations_track_lines_and_columns():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].loc.line, toks[0].loc.col) == (1, 1)
+    assert (toks[1].loc.line, toks[1].loc.col) == (2, 3)
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a # b")
+
+
+def test_map_access_brackets():
+    assert values("m[k1][k2]") == ["m", "[", "k1", "]", "[", "k2", "]"]

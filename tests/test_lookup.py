@@ -1,0 +1,84 @@
+"""Lookup-node packet tests (Fig. 10's entry point)."""
+
+from repro.chain import Network, call, payment
+from repro.chain.dispatch import DS
+from repro.chain.lookup import LookupNode, TxPacket, packets_to_epoch
+from repro.contracts import CORPUS
+from repro.scilla.values import IntVal, StringVal, addr, uint
+from repro.scilla import types as ty
+
+ADMIN = "0x" + "ad" * 20
+TOKEN = "0x" + "c0" * 20
+USERS = ["0x" + f"{i:040x}" for i in range(1, 30)]
+
+
+def token_network(n_shards=4):
+    net = Network(n_shards)
+    net.create_account(ADMIN)
+    for u in USERS:
+        net.create_account(u)
+    net.deploy(CORPUS["FungibleToken"], TOKEN, {
+        "contract_owner": addr(ADMIN), "name": StringVal("T"),
+        "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(10**12),
+    }, sharded_transitions=("Mint", "Transfer", "TransferFrom"))
+    return net
+
+
+def test_packets_group_by_destination():
+    net = token_network()
+    lookup = LookupNode(net.dispatcher)
+    for i, u in enumerate(USERS):
+        lookup.submit(call(u, TOKEN, "Transfer",
+                           {"to": addr(USERS[(i + 1) % len(USERS)]),
+                            "amount": uint(1)}, nonce=1))
+    packets = lookup.build_packets()
+    destinations = [p.destination for p in packets]
+    assert len(destinations) == len(set(destinations))  # one per lane
+    assert sum(len(p) for p in packets) == len(USERS)
+    assert lookup.pending() == 0
+
+
+def test_packets_preserve_submission_order_within_lane():
+    net = token_network(n_shards=1)
+    lookup = LookupNode(net.dispatcher)
+    sender = USERS[0]
+    for nonce in range(1, 6):
+        lookup.submit(payment(sender, USERS[1], amount=1, nonce=nonce))
+    (packet,) = lookup.build_packets()
+    assert [tx.nonce for tx in packet.txns] == [1, 2, 3, 4, 5]
+
+
+def test_large_queue_splits_into_multiple_packets():
+    net = token_network(n_shards=1)
+    lookup = LookupNode(net.dispatcher, max_packet_size=4)
+    for nonce in range(1, 11):
+        lookup.submit(payment(USERS[0], USERS[1], amount=1, nonce=nonce))
+    packets = lookup.build_packets()
+    assert [len(p) for p in packets] == [4, 4, 2]
+    assert all(p.destination == packets[0].destination for p in packets)
+
+
+def test_ds_bound_transactions_get_ds_packet():
+    net = token_network()
+    lookup = LookupNode(net.dispatcher)
+    me = USERS[3]
+    # Self-transfer aliases → DS.
+    lookup.submit(call(me, TOKEN, "Transfer",
+                       {"to": addr(me), "amount": uint(1)}, nonce=1))
+    (packet,) = lookup.build_packets()
+    assert packet.is_ds
+    assert packet.destination == DS
+
+
+def test_packets_feed_an_epoch_end_to_end():
+    net = token_network()
+    lookup = LookupNode(net.dispatcher)
+    for i, u in enumerate(USERS):
+        lookup.submit(call(ADMIN, TOKEN, "Mint",
+                           {"recipient": addr(u), "amount": uint(10)},
+                           nonce=i + 1))
+    packets = lookup.build_packets()
+    block = net.process_epoch(packets_to_epoch(packets), unlimited=True)
+    assert block.n_committed == len(USERS)
+    assert lookup.submitted == len(USERS)

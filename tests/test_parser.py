@@ -1,0 +1,283 @@
+"""Parser tests: expressions, statements, types, and whole modules."""
+
+import pytest
+
+from repro.scilla import ast
+from repro.scilla.errors import ParseError
+from repro.scilla.parser import (
+    parse_expression, parse_module, parse_type_str,
+)
+from repro.scilla.types import (
+    ADTType, FunType, MapType, PrimType, TypeVar, UINT128,
+)
+
+
+# -- types -----------------------------------------------------------------
+
+def test_parse_prim_type():
+    assert parse_type_str("Uint128") == UINT128
+
+
+def test_parse_map_type():
+    t = parse_type_str("Map ByStr20 Uint128")
+    assert t == MapType(PrimType("ByStr20"), UINT128)
+
+
+def test_parse_nested_map_type():
+    t = parse_type_str("Map ByStr20 (Map ByStr20 Uint128)")
+    assert isinstance(t.value, MapType)
+
+
+def test_parse_arrow_type_right_assoc():
+    t = parse_type_str("Uint128 -> Uint128 -> Bool")
+    assert isinstance(t, FunType)
+    assert isinstance(t.ret, FunType)
+
+
+def test_parse_adt_type_with_args():
+    t = parse_type_str("Option Uint128")
+    assert t == ADTType("Option", (UINT128,))
+
+
+def test_parse_type_variable():
+    assert parse_type_str("'A") == TypeVar("'A")
+
+
+# -- expressions -------------------------------------------------------------
+
+def test_parse_int_literal():
+    e = parse_expression("Uint128 42")
+    assert isinstance(e, ast.Literal)
+    assert e.value == 42
+
+
+def test_out_of_range_literal_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("Uint32 4294967296")
+
+
+def test_negative_uint_literal_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("Uint128 -1")
+
+
+def test_negative_int_literal_accepted():
+    e = parse_expression("Int64 -5")
+    assert e.value == -5
+
+
+def test_parse_bnum_literal():
+    e = parse_expression("BNum 100")
+    assert e.typ == PrimType("BNum")
+
+
+def test_parse_let_in():
+    e = parse_expression("let x = Uint128 1 in x")
+    assert isinstance(e, ast.Let)
+    assert isinstance(e.body, ast.Var)
+
+
+def test_parse_fun():
+    e = parse_expression("fun (x: Uint128) => x")
+    assert isinstance(e, ast.Fun)
+    assert e.param_type == UINT128
+
+
+def test_parse_tfun():
+    e = parse_expression("tfun 'A => fun (x: 'A) => x")
+    assert isinstance(e, ast.TFun)
+
+
+def test_parse_builtin():
+    e = parse_expression("builtin add a b")
+    assert isinstance(e, ast.Builtin)
+    assert e.name == "add"
+    assert len(e.args) == 2
+
+
+def test_parse_application():
+    e = parse_expression("f a b")
+    assert isinstance(e, ast.App)
+    assert [a.name for a in e.args] == ["a", "b"]
+
+
+def test_bare_identifier_is_var():
+    e = parse_expression("f")
+    assert isinstance(e, ast.Var)
+
+
+def test_parse_constructor_with_type_args():
+    e = parse_expression("Cons {Uint128} x xs")
+    assert isinstance(e, ast.Constr)
+    assert e.constructor == "Cons"
+    assert e.type_args == (UINT128,)
+
+
+def test_parse_nullary_constructor():
+    e = parse_expression("True")
+    assert isinstance(e, ast.Constr)
+    assert e.args == ()
+
+
+def test_parse_match_expression():
+    e = parse_expression(
+        "match x with | Some v => v | None => Uint128 0 end")
+    assert isinstance(e, ast.MatchExpr)
+    assert len(e.clauses) == 2
+    some_pat = e.clauses[0][0]
+    assert isinstance(some_pat, ast.ConstructorPat)
+    assert isinstance(some_pat.args[0], ast.BinderPat)
+
+
+def test_match_without_clauses_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("match x with end")
+
+
+def test_parse_message_expression():
+    e = parse_expression('{ _tag : "Hi"; _recipient : to; _amount : a }')
+    assert isinstance(e, ast.MessageExpr)
+    assert [name for name, _ in e.fields] == ["_tag", "_recipient",
+                                              "_amount"]
+
+
+def test_parse_emp():
+    e = parse_expression("Emp ByStr20 Uint128")
+    assert isinstance(e, ast.Literal)
+    assert isinstance(e.typ, MapType)
+
+
+def test_parse_type_application():
+    e = parse_expression("@list_length Uint128")
+    assert isinstance(e, ast.TApp)
+    assert e.type_args == (UINT128,)
+
+
+# -- statements and modules ---------------------------------------------------
+
+MINIMAL = """
+scilla_version 0
+
+library Minimal
+
+let zero = Uint128 0
+
+contract Minimal (owner: ByStr20)
+
+field count : Uint128 = Uint128 0
+field table : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition Bump (amount: Uint128)
+  c <- count;
+  new_c = builtin add c amount;
+  count := new_c
+end
+
+transition Touch (key: ByStr20)
+  present <- exists table[key];
+  match present with
+  | True =>
+    delete table[key]
+  | False =>
+    table[key] := zero
+  end
+end
+
+procedure Check ()
+  blk <- & BLOCKNUMBER;
+  accept
+end
+
+transition UseCheck ()
+  Check;
+  e = { _eventname : "Used" };
+  event e
+end
+"""
+
+
+def test_parse_minimal_module():
+    m = parse_module(MINIMAL, "minimal")
+    assert m.contract.name == "Minimal"
+    assert len(m.contract.fields) == 2
+    assert len(m.contract.transitions) == 3
+    assert len(m.contract.procedures) == 1
+
+
+def test_statement_kinds():
+    m = parse_module(MINIMAL)
+    bump = m.contract.component("Bump")
+    assert isinstance(bump.body[0], ast.Load)
+    assert isinstance(bump.body[1], ast.Bind)
+    assert isinstance(bump.body[2], ast.Store)
+    touch = m.contract.component("Touch")
+    assert isinstance(touch.body[0], ast.MapGetExists)
+    match = touch.body[1]
+    assert isinstance(match, ast.MatchStmt)
+    assert isinstance(match.clauses[0][1][0], ast.MapDelete)
+    assert isinstance(match.clauses[1][1][0], ast.MapUpdate)
+
+
+def test_procedure_call_statement():
+    m = parse_module(MINIMAL)
+    use = m.contract.component("UseCheck")
+    assert isinstance(use.body[0], ast.CallProc)
+    assert use.body[0].proc == "Check"
+
+
+def test_blockchain_read_statement():
+    m = parse_module(MINIMAL)
+    check = m.contract.component("Check")
+    assert isinstance(check.body[0], ast.ReadBlockchain)
+    assert check.body[0].entry == "BLOCKNUMBER"
+    assert isinstance(check.body[1], ast.Accept)
+
+
+def test_unknown_blockchain_entry_rejected():
+    bad = MINIMAL.replace("BLOCKNUMBER", "GASPRICE")
+    with pytest.raises(ParseError):
+        parse_module(bad)
+
+
+def test_contract_params_parsed():
+    m = parse_module(MINIMAL)
+    assert [p.name for p in m.contract.params] == ["owner"]
+
+
+def test_library_entries_parsed():
+    m = parse_module(MINIMAL)
+    assert m.library is not None
+    assert m.library.entries[0].name == "zero"
+
+
+def test_user_defined_adt():
+    src = """
+    scilla_version 0
+    library L
+    type Shade =
+    | Red
+    | Green of Uint32
+    contract C (o: ByStr20)
+    transition T ()
+    end
+    """
+    m = parse_module(src)
+    typedef = m.library.entries[0]
+    assert typedef.name == "Shade"
+    assert typedef.constructors[0] == ("Red", ())
+    assert typedef.constructors[1][0] == "Green"
+
+
+def test_nested_map_statement_keys():
+    src = MINIMAL.replace(
+        "table[key] := zero", "table[key] := zero")
+    m = parse_module(src)
+    touch = m.contract.component("Touch")
+    update = touch.clauses if False else touch.body[1].clauses[1][1][0]
+    assert isinstance(update, ast.MapUpdate)
+    assert len(update.keys) == 1
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_module(MINIMAL + "\nnonsense")

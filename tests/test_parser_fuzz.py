@@ -1,0 +1,82 @@
+"""Parser robustness: arbitrary input must raise clean errors, never
+crash, and valid modules must survive whitespace/comment mutations."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.contracts import CORPUS
+from repro.scilla.errors import LexError, ParseError
+from repro.scilla.lexer import tokenize
+from repro.scilla.parser import parse_expression, parse_module
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=200))
+def test_tokenizer_total_over_text(source):
+    """tokenize either succeeds or raises LexError — nothing else."""
+    try:
+        tokens = tokenize(source)
+        assert tokens[-1].kind == "eof"
+    except LexError:
+        pass
+
+
+_token_soup = st.lists(
+    st.sampled_from([
+        "let", "in", "fun", "match", "with", "end", "builtin",
+        "transition", "contract", "field", ":=", "<-", "=>", "=", "|",
+        "(", ")", "[", "]", "{", "}", ";", "x", "Some", "None",
+        "Uint128", "42", '"s"', "0xab", "'A", "@", "&", "_",
+    ]),
+    max_size=30,
+).map(" ".join)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_token_soup)
+def test_parser_total_over_token_soup(source):
+    """Well-lexed garbage must yield ParseError, never crash."""
+    try:
+        parse_module(source)
+    except (ParseError, LexError):
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(_token_soup)
+def test_expression_parser_total(source):
+    try:
+        parse_expression(source)
+    except (ParseError, LexError):
+        pass
+
+
+@pytest.mark.parametrize("name", ["FungibleToken", "Multisig"])
+def test_comment_insertion_is_neutral(name):
+    """Sprinkling comments between lines does not change the parse."""
+    source = CORPUS[name]
+    commented = "\n".join(
+        line + "  (* noise (* nested *) *)" if line.strip() else line
+        for line in source.splitlines())
+    original = parse_module(source)
+    mutated = parse_module(commented)
+    assert [t.name for t in original.contract.transitions] == \
+        [t.name for t in mutated.contract.transitions]
+
+
+def test_whitespace_collapse_is_neutral():
+    """Scilla is whitespace-insensitive apart from token separation."""
+    source = CORPUS["HelloWorld"]
+    squeezed = " ".join(source.split())
+    original = parse_module(source)
+    mutated = parse_module(squeezed)
+    assert [t.name for t in original.contract.transitions] == \
+        [t.name for t in mutated.contract.transitions]
+
+
+def test_error_messages_carry_locations():
+    bad = "scilla_version 0\ncontract C (o: ByStr20)\ntransition T ()\n  x = ,\nend"
+    with pytest.raises(ParseError) as exc:
+        parse_module(bad)
+    assert "4:" in str(exc.value)  # line number of the broken statement

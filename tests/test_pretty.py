@@ -1,0 +1,80 @@
+"""Pretty-printer tests: corpus-wide parse∘print round-trips."""
+
+import pytest
+
+from repro.contracts import CORPUS
+from repro.core.summary import analyze_module
+from repro.scilla import ast
+from repro.scilla.parser import parse_expression, parse_module
+from repro.scilla.pretty import pp_expr, pp_module, pp_stmt
+from repro.scilla.typechecker import typecheck_module
+
+
+def strip_locs(node):
+    """Structural fingerprint of an AST node, ignoring locations."""
+    if isinstance(node, (list, tuple)):
+        return tuple(strip_locs(x) for x in node)
+    if hasattr(node, "__dataclass_fields__"):
+        cls = type(node).__name__
+        fields = []
+        for name in node.__dataclass_fields__:
+            if name == "loc":
+                continue
+            fields.append((name, strip_locs(getattr(node, name))))
+        return (cls, tuple(fields))
+    return node
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_roundtrip_whole_corpus(name):
+    """print(parse(src)) re-parses to a structurally identical module."""
+    module = parse_module(CORPUS[name], name)
+    printed = pp_module(module)
+    reparsed = parse_module(printed, name + "-roundtrip")
+    assert strip_locs(module.contract) == strip_locs(reparsed.contract)
+    if module.library:
+        assert strip_locs(module.library) == strip_locs(reparsed.library)
+
+
+@pytest.mark.parametrize("name", ["FungibleToken", "UD_registry",
+                                  "Multisig"])
+def test_roundtrip_preserves_typability(name):
+    printed = pp_module(parse_module(CORPUS[name], name))
+    typecheck_module(parse_module(printed))
+
+
+def test_roundtrip_preserves_analysis(name="FungibleToken"):
+    """The analysis result is a function of structure only."""
+    original = analyze_module(parse_module(CORPUS[name], name))
+    printed = pp_module(parse_module(CORPUS[name], name))
+    reprinted = analyze_module(parse_module(printed))
+    assert {t: str(s) for t, s in original.items()} == \
+        {t: str(s) for t, s in reprinted.items()}
+
+
+@pytest.mark.parametrize("source", [
+    "Uint128 42",
+    "Int64 -3",
+    '"hello \\"world\\""',
+    "let x = Uint128 1 in builtin add x x",
+    "fun (x: Uint128) => fun (y: Uint128) => builtin sub x y",
+    "tfun 'A => fun (x: 'A) => x",
+    "match o with | Some v => v | None => Uint128 0 end",
+    "Cons {Uint128} h t",
+    "{ _tag : \"T\"; _recipient : r; _amount : a }",
+    "@list_length Uint128",
+    "Emp ByStr20 (Map ByStr20 Uint128)",
+])
+def test_roundtrip_expressions(source):
+    expr = parse_expression(source)
+    printed = pp_expr(expr)
+    assert strip_locs(parse_expression(printed)) == strip_locs(expr)
+
+
+def test_statement_printing_shapes():
+    module = parse_module(CORPUS["FungibleToken"])
+    transfer = module.contract.component("Transfer")
+    text = "\n".join(pp_stmt(s) for s in transfer.body)
+    assert "ThrowIfPaused" in text
+    assert "MoveBalance _sender to amount" in text
+    assert "send msgs" in text

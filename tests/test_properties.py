@@ -1,0 +1,111 @@
+"""Cross-cutting property-based tests: dispatch totality and
+determinism, interpreter determinism, gas monotonicity."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.chain import Network, call
+from repro.chain.dispatch import DS
+from repro.contracts import CORPUS
+from repro.scilla.interpreter import Interpreter, TxContext
+from repro.scilla.parser import parse_module
+from repro.scilla.values import IntVal, StringVal, addr, canonical, uint
+from repro.scilla import types as ty
+
+ADMIN = "0x" + "ad" * 20
+TOKEN = "0x" + "c0" * 20
+
+
+def _network(n_shards):
+    net = Network(n_shards)
+    net.create_account(ADMIN)
+    net.deploy(CORPUS["FungibleToken"], TOKEN, {
+        "contract_owner": addr(ADMIN), "name": StringVal("T"),
+        "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(10**9),
+    }, sharded_transitions=("Mint", "Transfer", "TransferFrom"))
+    return net
+
+
+_NETS = {n: _network(n) for n in (1, 3, 5)}
+
+_tx = st.builds(
+    lambda s, t, amt, transition, nonce: call(
+        f"0x{s:040x}", TOKEN, transition,
+        ({"to": addr(f"0x{t:040x}"), "amount": uint(amt)}
+         if transition in ("Transfer",) else
+         {"recipient": addr(f"0x{t:040x}"), "amount": uint(amt)}
+         if transition == "Mint" else
+         {"from": addr(f"0x{t:040x}"),
+          "to": addr(f"0x{(t % 97) + 1:040x}"), "amount": uint(amt)}),
+        nonce=nonce),
+    st.integers(1, 100), st.integers(1, 100), st.integers(0, 10**9),
+    st.sampled_from(["Transfer", "Mint", "TransferFrom"]),
+    st.integers(1, 1000),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_tx, st.sampled_from([1, 3, 5]))
+def test_dispatch_total_and_in_range(tx, n_shards):
+    """Dispatch never crashes and always yields DS or a valid shard."""
+    decision = _NETS[n_shards].dispatcher.dispatch(tx)
+    assert decision.shard == DS or 0 <= decision.shard < n_shards
+
+
+@settings(max_examples=40, deadline=None)
+@given(_tx, st.sampled_from([3, 5]))
+def test_dispatch_deterministic(tx, n_shards):
+    d1 = _NETS[n_shards].dispatcher.dispatch(tx)
+    d2 = _NETS[n_shards].dispatcher.dispatch(tx)
+    assert d1.shard == d2.shard
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 50), st.integers(1, 10**6))
+def test_interpreter_deterministic(recipient, amount):
+    """Same transition + args + context ⇒ identical state and gas."""
+    module = parse_module(CORPUS["FungibleToken"], "FT")
+    interp = Interpreter(module)
+    results = []
+    for _ in range(2):
+        state = interp.deploy(TOKEN, {
+            "contract_owner": addr(ADMIN), "name": StringVal("T"),
+            "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+            "init_supply": uint(0)})
+        r = interp.run_transition(
+            state, "Mint",
+            {"recipient": addr(f"0x{recipient:040x}"),
+             "amount": uint(amount)},
+            TxContext(sender=ADMIN))
+        assert r.success
+        results.append((r.gas_used,
+                        {k: canonical(v) for k, v in state.fields.items()}))
+    assert results[0] == results[1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 30))
+def test_gas_grows_with_work(n_ops):
+    """A transition doing more statements costs more gas."""
+    def build(n):
+        adds = ";\n".join(
+            f"  x{i} = builtin add one one" for i in range(n))
+        return f"""
+        scilla_version 0
+        library G
+        let one = Uint128 1
+        contract G (o: ByStr20)
+        transition Work ()
+        {adds}
+        end
+        """
+    interp_small = Interpreter(parse_module(build(1)))
+    interp_big = Interpreter(parse_module(build(n_ops + 1)))
+    s1 = interp_small.deploy("0x01", {"o": addr(ADMIN)})
+    s2 = interp_big.deploy("0x01", {"o": addr(ADMIN)})
+    g1 = interp_small.run_transition(s1, "Work", {},
+                                     TxContext(sender=ADMIN)).gas_used
+    g2 = interp_big.run_transition(s2, "Work", {},
+                                   TxContext(sender=ADMIN)).gas_used
+    assert g2 > g1

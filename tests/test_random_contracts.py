@@ -1,0 +1,191 @@
+"""Full-stack fuzzing: randomly *generated contracts*.
+
+Hypothesis builds small random Scilla transitions from a grammar of
+state operations (commutative bumps, overwrites, guarded decrements,
+deletes over a map and a scalar).  For every generated contract we
+check the whole pipeline:
+
+* it parses, typechecks, and the analysis terminates;
+* a signature derives for the generated transitions;
+* executing a random workload sharded (2 and 3 shards) and replaying
+  the committed transactions sequentially in lane order produces the
+  identical final state — the paper's core soundness claim, now over
+  programs nobody hand-picked.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.chain import Network, call
+from repro.core.pipeline import run_pipeline
+from repro.scilla.interpreter import Interpreter, TxContext
+from repro.scilla.parser import parse_module
+from repro.scilla.values import addr, canonical, uint
+
+USERS = ["0x" + f"{i:040x}" for i in range(1, 7)]
+CONTRACT = "0x" + "c0" * 20
+
+KEYS = ["who_a", "who_b", "_sender"]
+
+# One grammar production per state-manipulation idiom.
+_op = st.one_of(
+    st.tuples(st.just("bump"), st.sampled_from(KEYS),
+              st.sampled_from(["add", "sub"])),
+    st.tuples(st.just("overwrite"), st.sampled_from(KEYS),
+              st.just("")),
+    st.tuples(st.just("guarded_sub"), st.sampled_from(KEYS), st.just("")),
+    st.tuples(st.just("bump_scalar"), st.just(""), st.just("")),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS), st.just("")),
+    st.tuples(st.just("accept"), st.just(""), st.just("")),
+    st.tuples(st.just("notify"), st.sampled_from(["who_a", "who_b"]),
+              st.just("")),
+)
+
+
+def render_transition(name: str, ops) -> str:
+    lines = [f"transition {name} (who_a: ByStr20, who_b: ByStr20,"
+             f" v: Uint128)"]
+    for i, (kind, key, op) in enumerate(ops):
+        p = f"x{i}"
+        if kind == "bump":
+            lines += [
+                f"  {p}_opt <- m[{key}];",
+                f"  {p}_cur = match {p}_opt with",
+                f"          | Some b => b",
+                f"          | None => big",
+                f"          end;",
+                f"  {p}_new = builtin {op} {p}_cur v;",
+                f"  m[{key}] := {p}_new;",
+            ]
+        elif kind == "overwrite":
+            lines += [f"  m[{key}] := v;"]
+        elif kind == "guarded_sub":
+            lines += [
+                f"  {p}_opt <- m[{key}];",
+                f"  {p}_cur = match {p}_opt with",
+                f"          | Some b => b",
+                f"          | None => big",
+                f"          end;",
+                f"  {p}_low = builtin lt {p}_cur v;",
+                f"  match {p}_low with",
+                f"  | True =>",
+                f"    e{i} = {{ _exception : \"Low\" }};",
+                f"    throw e{i}",
+                f"  | False =>",
+                f"    {p}_new = builtin sub {p}_cur v;",
+                f"    m[{key}] := {p}_new",
+                f"  end;",
+            ]
+        elif kind == "bump_scalar":
+            lines += [
+                f"  {p}_s <- n;",
+                f"  {p}_new = builtin add {p}_s v;",
+                f"  n := {p}_new;",
+            ]
+        elif kind == "delete":
+            lines += [f"  delete m[{key}];"]
+        elif kind == "accept":
+            lines += ["  accept;"]
+        elif kind == "notify":
+            lines += [
+                f"  msg{i} = {{ _tag : \"Note\"; _recipient : {key};"
+                f" _amount : Uint128 0; v : v }};",
+                f"  msgs{i} = one_msg msg{i};",
+                f"  send msgs{i};",
+            ]
+    body = "\n".join(lines)
+    if body.endswith(";"):
+        body = body[:-1]
+    return body + "\nend"
+
+
+def render_contract(transitions: dict[str, list]) -> str:
+    rendered = "\n\n".join(render_transition(name, ops)
+                           for name, ops in transitions.items())
+    return f"""
+scilla_version 0
+
+library Fuzzed
+
+let big = Uint128 1000000
+
+contract Fuzzed (owner: ByStr20)
+
+field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+field n : Uint128 = Uint128 0
+
+{rendered}
+"""
+
+
+_transitions = st.dictionaries(
+    st.sampled_from(["Go", "Run", "Act"]),
+    st.lists(_op, min_size=1, max_size=5),
+    min_size=1, max_size=3,
+)
+
+_workload = st.lists(
+    st.tuples(
+        st.sampled_from(["Go", "Run", "Act"]),   # transition (if present)
+        st.integers(0, len(USERS) - 1),          # sender
+        st.integers(0, 1),                       # who_a: hot keys, so
+        st.integers(0, 1),                       # who_b: fresh entries
+        st.integers(1, 40),                      # v      collide often
+    ),
+    min_size=2, max_size=12,
+)
+
+
+def state_snapshot(state):
+    return {name: canonical(value)
+            for name, value in state.fields.items()}
+
+
+@settings(max_examples=60, deadline=None)
+@given(_transitions, _workload, st.sampled_from([2, 3]))
+def test_random_contract_sharded_equals_replay(transitions, workload,
+                                               n_shards):
+    source = render_contract(transitions)
+    result = run_pipeline(source, "Fuzzed")  # parse + typecheck + analyse
+    selection = tuple(sorted(transitions))
+    signature = result.signature(selection)  # Algorithm 3.1 terminates
+
+    # Build the sharded network.
+    net = Network(n_shards)
+    for u in USERS:
+        net.create_account(u)
+    net.deploy(source, CONTRACT, {"owner": addr(USERS[0])},
+               sharded_transitions=selection)
+
+    nonces: dict[str, int] = {}
+    txns = []
+    for name, s_i, a_i, b_i, v in workload:
+        if name not in transitions:
+            continue
+        sender = USERS[s_i]
+        nonces[sender] = nonces.get(sender, 0) + 1
+        txns.append(call(sender, CONTRACT, name,
+                         {"who_a": addr(USERS[a_i]),
+                          "who_b": addr(USERS[b_i]),
+                          "v": uint(v)},
+                         nonce=nonces[sender]))
+    if not txns:
+        return
+
+    block = net.process_epoch(txns, unlimited=True)
+    committed = []
+    for mb in block.microblocks:
+        committed.extend(r.tx for r in mb.receipts if r.success)
+    committed.extend(r.tx for r in block.ds_receipts if r.success)
+    sharded = state_snapshot(net.contracts[CONTRACT].state)
+
+    # Sequential replay of the committed transactions, in lane order.
+    interp = Interpreter(parse_module(source, "replay"))
+    state = interp.deploy(CONTRACT, {"owner": addr(USERS[0])})
+    for tx in committed:
+        r = interp.run_transition(state, tx.transition, tx.args_dict(),
+                                  TxContext(sender=tx.sender,
+                                            amount=tx.amount))
+        assert r.success, (
+            f"replay diverged on {tx.transition}: {r.error}\n{source}")
+    assert sharded == state_snapshot(state), source

@@ -1,0 +1,63 @@
+"""Scilla REPL session tests."""
+
+from repro.scilla.repl import ReplSession
+from repro.scilla.values import uint
+
+
+def test_eval_expression():
+    s = ReplSession()
+    assert s.eval("let a = Uint128 2 in builtin add a a") == uint(4)
+
+
+def test_let_binding_persists():
+    s = ReplSession()
+    s.handle(":let x = Uint128 5")
+    assert s.eval("builtin add x x") == uint(10)
+
+
+def test_type_query():
+    s = ReplSession()
+    assert s.handle(":type Uint128 1") == "Uint128"
+    assert s.handle(":type fun (x: Uint128) => x") == "Uint128 -> Uint128"
+
+
+def test_type_of_bound_value():
+    s = ReplSession()
+    s.handle(':let who = 0xabababababababababababababababababababab')
+    assert s.handle(":type who") == "ByStr20"
+
+
+def test_env_listing():
+    s = ReplSession()
+    assert s.handle(":env") == "(no bindings)"
+    s.handle(":let one = Uint128 1")
+    assert "one = Uint128 1" in s.handle(":env")
+
+
+def test_errors_are_reported_not_raised():
+    s = ReplSession()
+    out = s.handle("builtin add x y")
+    assert out.startswith("error:")
+    out = s.handle("((((")
+    assert out.startswith("error:")
+
+
+def test_quit_and_blank_lines():
+    s = ReplSession()
+    assert s.handle("") == ""
+    assert s.handle(":quit") is None
+
+
+def test_prelude_available():
+    s = ReplSession()
+    assert str(s.eval("let a = True in negb a")) == "False"
+
+
+def test_help():
+    s = ReplSession()
+    assert ":type" in s.handle(":help")
+
+
+def test_malformed_let():
+    s = ReplSession()
+    assert "usage" in s.handle(":let oops")

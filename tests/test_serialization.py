@@ -1,0 +1,138 @@
+"""Wire-format round-trip tests (values, deltas, txns, signatures)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.chain.delta import DeltaEntry, StateDelta
+from repro.chain.serialization import (
+    delta_from_json, delta_to_json, signature_from_json,
+    signature_to_json, transaction_from_json, transaction_to_json,
+    value_from_json, value_to_json,
+)
+from repro.chain.transaction import call, payment
+from repro.core.joins import JoinKind
+from repro.core.pipeline import run_pipeline
+from repro.core.signature import signatures_equal
+from repro.contracts import CORPUS, EVAL_CONTRACTS
+from repro.scilla.state import MISSING
+from repro.scilla import types as ty
+from repro.scilla.values import (
+    ADTVal, BNumVal, IntVal, MapVal, StringVal, addr, bool_val, none,
+    pair, some, uint,
+)
+
+VALUES = [
+    uint(0),
+    uint(2**127),
+    StringVal("hello\nworld"),
+    BNumVal(123),
+    addr("0xab"),
+    bool_val(True),
+    some(uint(5), ty.UINT128),
+    none(ty.UINT128),
+    pair(uint(1), StringVal("x"), ty.UINT128, ty.STRING),
+]
+
+
+@pytest.mark.parametrize("value", VALUES, ids=str)
+def test_value_roundtrip(value):
+    assert value_from_json(value_to_json(value)) == value
+
+
+def test_map_value_roundtrip():
+    m = MapVal(ty.BYSTR20, ty.UINT128,
+               {addr("0x01"): uint(1), addr("0x02"): uint(2)})
+    out = value_from_json(value_to_json(m))
+    assert out.entries == m.entries
+    assert out.key_type == m.key_type
+
+
+def test_nested_map_roundtrip():
+    inner = MapVal(ty.STRING, ty.UINT128, {StringVal("a"): uint(1)})
+    outer = MapVal(ty.BYSTR20, ty.MapType(ty.STRING, ty.UINT128),
+                   {addr("0x01"): inner})
+    out = value_from_json(value_to_json(outer))
+    assert out.entries[addr("0x01")].entries == inner.entries
+
+
+@given(st.integers(0, 2**128 - 1))
+def test_value_roundtrip_property(n):
+    assert value_from_json(value_to_json(uint(n))) == uint(n)
+
+
+def test_delta_roundtrip():
+    delta = StateDelta("0xc0", 2, [
+        DeltaEntry(("bal", (addr("0x01"),)), JoinKind.INT_MERGE,
+                   int_diff=-5, template=uint(10)),
+        DeltaEntry(("owners", (uint(7),)), JoinKind.OWN_OVERWRITE,
+                   new_value=addr("0x02")),
+        DeltaEntry(("owners", (uint(8),)), JoinKind.OWN_OVERWRITE,
+                   new_value=MISSING),  # deletion
+    ])
+    out = delta_from_json(delta_to_json(delta))
+    assert out.contract == delta.contract
+    assert out.shard == delta.shard
+    assert out.entries == delta.entries
+
+
+def test_transaction_roundtrip_call():
+    tx = call("0xaa", "0xc0", "Transfer",
+              {"to": addr("0xbb"), "amount": uint(5)}, nonce=7,
+              amount=3)
+    out = transaction_from_json(transaction_to_json(tx))
+    assert out.sender == tx.sender
+    assert out.transition == tx.transition
+    assert out.args_dict() == tx.args_dict()
+    assert out.nonce == 7 and out.amount == 3
+
+
+def test_transaction_roundtrip_payment():
+    tx = payment("0xaa", "0xbb", amount=9, nonce=2)
+    out = transaction_from_json(transaction_to_json(tx))
+    assert not out.is_contract_call
+    assert out.amount == 9
+
+
+@pytest.mark.parametrize("name", sorted(EVAL_CONTRACTS))
+def test_signature_roundtrip_eval_contracts(name):
+    """The signature a deployer submits over the wire is exactly the
+    one the miner validates."""
+    result = run_pipeline(CORPUS[name], name)
+    sig = result.signature(EVAL_CONTRACTS[name])
+    out = signature_from_json(signature_to_json(sig))
+    assert signatures_equal(sig, out)
+    assert out.weak_reads == sig.weak_reads
+
+
+def test_signature_roundtrip_with_bot():
+    result = run_pipeline(CORPUS["NonfungibleToken"], "NFT")
+    sig = result.signature(("Approve",))
+    out = signature_from_json(signature_to_json(sig))
+    assert signatures_equal(sig, out)
+
+
+def test_real_epoch_deltas_roundtrip():
+    """Deltas produced by an actual sharded epoch survive the wire."""
+    from repro.chain import Network, call
+    net = Network(3)
+    admin = "0x" + "ad" * 20
+    users = ["0x" + f"{i:040x}" for i in range(1, 9)]
+    net.create_account(admin)
+    for u in users:
+        net.create_account(u)
+    net.deploy(CORPUS["FungibleToken"], "0x" + "c0" * 20, {
+        "contract_owner": addr(admin), "name": StringVal("T"),
+        "symbol": StringVal("T"),
+        "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(0),
+    }, sharded_transitions=EVAL_CONTRACTS["FungibleToken"])
+    block = net.process_epoch([
+        call(admin, "0x" + "c0" * 20, "Mint",
+             {"recipient": addr(u), "amount": uint(7)}, nonce=i + 1)
+        for i, u in enumerate(users)
+    ], unlimited=True)
+    for mb in block.microblocks:
+        for delta in mb.deltas:
+            wire = delta_to_json(delta)
+            assert delta_from_json(wire).entries == delta.entries

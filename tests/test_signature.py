@@ -1,0 +1,264 @@
+"""Sharding-signature derivation tests (Algorithm 3.1 / Fig. 9)."""
+
+import pytest
+
+from repro.core.constraints import (
+    Bot, ContractShard, NoAliases, Owns, SenderShard, UserAddr, is_bot,
+)
+from repro.core.domain import ParamKey, PseudoField
+from repro.core.joins import JoinKind
+from repro.core.signature import (
+    StaleReadsRejected, derive_signature, is_commutative_write,
+    signature_for, signatures_equal,
+)
+from repro.core.summary import analyze_module
+from repro.contracts import CORPUS
+from repro.scilla import parse_module
+
+PF = PseudoField
+
+
+def derive(source: str, selected, **kwargs):
+    summaries = analyze_module(parse_module(source))
+    return derive_signature("C", summaries, tuple(selected), **kwargs)
+
+
+def wrap(fields: str, transitions: str) -> str:
+    return f"""
+    scilla_version 0
+    library S
+    let zero = Uint128 0
+    contract C (owner: ByStr20)
+    {fields}
+    {transitions}
+    """
+
+
+TOKENISH = wrap(
+    "field bal : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+    """
+    transition Pay (to: ByStr20, amount: Uint128)
+      b_opt <- bal[_sender];
+      b = match b_opt with | Some v => v | None => zero end;
+      short = builtin lt b amount;
+      match short with
+      | True => throw
+      | False =>
+        nb = builtin sub b amount;
+        bal[_sender] := nb;
+        t_opt <- bal[to];
+        nt = match t_opt with
+             | Some v => builtin add v amount
+             | None => amount
+             end;
+        bal[to] := nt
+      end
+    end
+    """)
+
+
+def test_commutative_writes_get_intmerge_join():
+    sig = derive(TOKENISH, ("Pay",))
+    assert sig.joins["bal"] is JoinKind.INT_MERGE
+
+
+def test_spurious_read_removed_recipient_needs_no_ownership():
+    sig = derive(TOKENISH, ("Pay",))
+    constraints = sig.constraints["Pay"]
+    assert Owns(PF("bal", (ParamKey("_sender"),))) in constraints
+    assert Owns(PF("bal", (ParamKey("to"),))) not in constraints
+
+
+def test_noaliases_emitted_for_distinct_keys():
+    sig = derive(TOKENISH, ("Pay",))
+    assert NoAliases("_sender", "to") in sig.constraints["Pay"]
+
+
+def test_stale_reads_gate():
+    """Reading balances of an IntMerge field needs user acceptance."""
+    with pytest.raises(StaleReadsRejected) as exc:
+        derive(TOKENISH, ("Pay",), weak_reads=set())
+    assert exc.value.needed == {"bal"}
+    # Accepting exactly the needed field succeeds.
+    sig = derive(TOKENISH, ("Pay",), weak_reads={"bal"})
+    assert sig.weak_reads == frozenset({"bal"})
+
+
+def test_ownership_only_fallback():
+    sig = signature_for("C", analyze_module(parse_module(TOKENISH)),
+                        ("Pay",), weak_reads=set())
+    assert sig is not None
+    assert sig.joins["bal"] is JoinKind.OWN_OVERWRITE
+    # Without commutativity both entries must be owned.
+    assert Owns(PF("bal", (ParamKey("to"),))) in sig.constraints["Pay"]
+
+
+def test_constant_field_reads_dropped():
+    src = wrap(
+        "field config : Uint128 = Uint128 1\n"
+        "field data : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        """
+        transition Use (k: ByStr20)
+          c <- config;
+          data[k] := c
+        end
+        transition Admin (v: Uint128)
+          config := v
+        end
+        """)
+    # Alone, Use treats config as constant: no ownership of it.
+    sig = derive(src, ("Use",))
+    assert Owns(PF("config")) not in sig.constraints["Use"]
+    # Selected together with its writer, the read needs ownership.
+    sig2 = derive(src, ("Use", "Admin"))
+    assert Owns(PF("config")) in sig2.constraints["Use"]
+    assert Owns(PF("config")) in sig2.constraints["Admin"]
+
+
+def test_join_consolidation_demotes_mixed_field():
+    """A field written commutatively by one transition and overwritten
+    by another cannot get IntMerge; the commutative write then needs
+    ownership again."""
+    src = wrap(
+        "field n : Uint128 = Uint128 0",
+        """
+        transition Inc (v: Uint128)
+          x <- n;
+          y = builtin add x v;
+          n := y
+        end
+        transition Reset ()
+          n := zero
+        end
+        """)
+    alone = derive(src, ("Inc",))
+    assert alone.joins["n"] is JoinKind.INT_MERGE
+    assert Owns(PF("n")) not in alone.constraints["Inc"]
+    both = derive(src, ("Inc", "Reset"))
+    assert both.joins["n"] is JoinKind.OWN_OVERWRITE
+    assert Owns(PF("n")) in both.constraints["Inc"]
+    assert Owns(PF("n")) in both.constraints["Reset"]
+
+
+def test_accept_gives_sender_shard():
+    src = wrap("field pot : Uint128 = Uint128 0",
+               """
+               transition Put ()
+                 accept;
+                 p <- pot;
+                 q = builtin add p _amount;
+                 pot := q
+               end
+               """)
+    sig = derive(src, ("Put",))
+    assert SenderShard() in sig.constraints["Put"]
+
+
+def test_fund_bearing_send_gives_contract_shard():
+    src = wrap("", """
+               transition Out (to: ByStr20, amount: Uint128)
+                 m = { _tag : "pay"; _recipient : to; _amount : amount };
+                 ms = one_msg m;
+                 send ms
+               end
+               """)
+    sig = derive(src, ("Out",))
+    cs = sig.constraints["Out"]
+    assert ContractShard() in cs
+    assert UserAddr("to") in cs
+
+
+def test_zero_fund_send_needs_only_useraddr():
+    src = wrap("", """
+               transition Notify (to: ByStr20)
+                 m = { _tag : "hi"; _recipient : to; _amount : zero };
+                 ms = one_msg m;
+                 send ms
+               end
+               """)
+    sig = derive(src, ("Notify",))
+    cs = sig.constraints["Notify"]
+    assert ContractShard() not in cs
+    assert UserAddr("to") in cs
+
+
+def test_unknown_recipient_is_bot():
+    src = wrap("field target : ByStr20 = owner",
+               """
+               transition Fwd ()
+                 t <- target;
+                 m = { _tag : "x"; _recipient : t; _amount : zero };
+                 ms = one_msg m;
+                 send ms
+               end
+               """)
+    sig = derive(src, ("Fwd",))
+    assert is_bot(sig.constraints["Fwd"])
+
+
+def test_top_effect_is_bot():
+    src = wrap("field m : Map ByStr32 Uint128 = Emp ByStr32 Uint128",
+               """
+               transition Weird (s: String)
+                 k = builtin sha256hash s;
+                 m[k] := zero
+               end
+               """)
+    sig = derive(src, ("Weird",))
+    assert is_bot(sig.constraints["Weird"])
+
+
+def test_delete_needs_ownership():
+    src = wrap("field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+               """
+               transition Drop (k: ByStr20)
+                 delete m[k]
+               end
+               """)
+    sig = derive(src, ("Drop",))
+    assert Owns(PF("m", (ParamKey("k"),))) in sig.constraints["Drop"]
+    assert sig.joins["m"] is JoinKind.OWN_OVERWRITE
+
+
+def test_is_commutative_write_rejects_delete_and_constants():
+    summaries = analyze_module(parse_module(TOKENISH))
+    writes = {w.pf: w for w in summaries["Pay"].writes()}
+    assert is_commutative_write(writes[PF("bal", (ParamKey("to"),))])
+    assert is_commutative_write(writes[PF("bal", (ParamKey("_sender"),))])
+
+    src = wrap("field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+               """
+               transition Set (k: ByStr20, v: Uint128)
+                 m[k] := v
+               end
+               """)
+    s2 = analyze_module(parse_module(src))
+    (w,) = s2["Set"].writes()
+    assert not is_commutative_write(w)  # constant overwrite
+
+
+def test_signature_equality_for_validation():
+    summaries = analyze_module(parse_module(TOKENISH))
+    a = derive_signature("C", summaries, ("Pay",))
+    b = derive_signature("C", summaries, ("Pay",))
+    assert signatures_equal(a, b)
+    ownership_only = derive_signature("C", summaries, ("Pay",),
+                                      allow_commutativity=False)
+    assert not signatures_equal(a, ownership_only)
+
+
+def test_fungible_token_paper_signature():
+    """The TransferFrom constraints of the real corpus contract: both
+    ownership constraints are keyed by ``from``, so a single shard can
+    satisfy them — the paper's Fig. 3 co-location."""
+    summaries = analyze_module(parse_module(CORPUS["FungibleToken"]))
+    sig = derive_signature("FT", summaries,
+                           ("Mint", "Transfer", "TransferFrom"))
+    cs = sig.constraints["TransferFrom"]
+    assert Owns(PF("balances", (ParamKey("from"),))) in cs
+    assert Owns(PF("allowances", (ParamKey("from"), ParamKey("_sender")))) \
+        in cs
+    assert sig.joins["balances"] is JoinKind.INT_MERGE
+    assert sig.joins["allowances"] is JoinKind.INT_MERGE
+    # Mint is fully unconstrained: parallel from any shard.
+    assert sig.constraints["Mint"] == frozenset()

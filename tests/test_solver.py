@@ -1,0 +1,183 @@
+"""Good-enough signature solver tests (Defs. 5.1–5.3)."""
+
+from repro.core.solver import ShardingSolver, is_good_enough
+from repro.core.summary import analyze_module
+from repro.contracts import CORPUS
+from repro.scilla import parse_module
+
+
+def solver_for(source: str, name: str = "C") -> ShardingSolver:
+    return ShardingSolver(name, analyze_module(parse_module(source)))
+
+
+def wrap(fields: str, transitions: str) -> str:
+    return f"""
+    scilla_version 0
+    library S
+    let zero = Uint128 0
+    contract C (owner: ByStr20)
+    {fields}
+    {transitions}
+    """
+
+
+HOGGY = wrap(
+    "field config : Uint128 = Uint128 0\n"
+    "field data : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+    """
+    transition SetConfig (v: Uint128)
+      config := v
+    end
+    transition SetConfigAgain (v: Uint128)
+      config := v
+    end
+    transition PutData (k: ByStr20, v: Uint128)
+      data[k] := v
+    end
+    """)
+
+
+def test_singleton_with_hog_not_ge():
+    s = solver_for(HOGGY)
+    assert not is_good_enough(s.signature(("SetConfig",)))
+
+
+def test_singleton_without_hog_is_ge():
+    s = solver_for(HOGGY)
+    assert is_good_enough(s.signature(("PutData",)))
+
+
+def test_pair_with_single_hogger_is_ge():
+    s = solver_for(HOGGY)
+    assert is_good_enough(s.signature(("PutData", "SetConfig")))
+
+
+def test_pair_with_two_hoggers_not_ge():
+    s = solver_for(HOGGY)
+    assert not is_good_enough(
+        s.signature(("SetConfig", "SetConfigAgain")))
+
+
+def test_maximal_ge_not_proper_subsets():
+    s = solver_for(HOGGY)
+    report = s.report()
+    sets = [frozenset(sel) for sel in report.maximal_ge]
+    for a in sets:
+        assert not any(a < b for b in sets)
+
+
+def test_hoggy_report_shape():
+    report = solver_for(HOGGY).report()
+    assert report.largest_ge_size == 2
+    # {PutData, SetConfig} and {PutData, SetConfigAgain}.
+    assert report.n_maximal == 2
+
+
+def test_bot_transition_never_in_ge():
+    src = wrap(
+        "field m : Map ByStr32 Uint128 = Emp ByStr32 Uint128",
+        """
+        transition Bad (s: String)
+          k = builtin sha256hash s;
+          m[k] := zero
+        end
+        transition Fine (k: ByStr32)
+          m[k] := zero
+        end
+        """)
+    s = solver_for(src)
+    assert s.shardable_transitions() == ["Fine"]
+    report = s.report()
+    assert all("Bad" not in sel for sel in report.maximal_ge)
+
+
+def test_paper_table_fungible_token():
+    s = ShardingSolver(
+        "FungibleToken",
+        analyze_module(parse_module(CORPUS["FungibleToken"])))
+    report = s.report()
+    assert report.n_transitions == 10
+    assert report.largest_ge_size == 6
+    assert report.n_maximal == 2
+
+
+def test_paper_table_crowdfunding():
+    s = ShardingSolver(
+        "Crowdfunding",
+        analyze_module(parse_module(CORPUS["Crowdfunding"])))
+    report = s.report()
+    assert (report.n_transitions, report.largest_ge_size,
+            report.n_maximal) == (3, 2, 1)
+    assert set(report.maximal_ge[0]) == {"Donate", "ClaimBack"}
+
+
+def test_paper_table_nonfungible_token():
+    s = ShardingSolver(
+        "NonfungibleToken",
+        analyze_module(parse_module(CORPUS["NonfungibleToken"])))
+    report = s.report()
+    assert (report.n_transitions, report.largest_ge_size,
+            report.n_maximal) == (5, 3, 2)
+
+
+def test_paper_table_proof_ipfs():
+    s = ShardingSolver(
+        "ProofIPFS", analyze_module(parse_module(CORPUS["ProofIPFS"])))
+    report = s.report()
+    assert (report.n_transitions, report.largest_ge_size,
+            report.n_maximal) == (10, 8, 2)
+
+
+def test_paper_table_ud_registry():
+    s = ShardingSolver(
+        "UD_registry",
+        analyze_module(parse_module(CORPUS["UD_registry"])))
+    report = s.report()
+    assert (report.n_transitions, report.largest_ge_size,
+            report.n_maximal) == (11, 6, 2)
+
+
+def test_signature_cache_is_stable():
+    s = solver_for(HOGGY)
+    first = s.signature(("PutData",))
+    second = s.signature(("PutData",))
+    assert first is second
+
+
+def test_fast_ge_matches_exhaustive_derivation():
+    """The memoised context-based GE check agrees with full
+    Algorithm 3.1 derivations on every subset of real contracts."""
+    import itertools
+    from repro.core.signature import derive_signature
+    for name in ("NonfungibleToken", "Crowdfunding", "DPSTokenHub"):
+        summaries = analyze_module(parse_module(CORPUS[name]))
+        solver = ShardingSolver(name, summaries)
+        candidates = solver.shardable_transitions()
+        for k in range(1, len(candidates) + 1):
+            for combo in itertools.combinations(sorted(candidates), k):
+                slow = is_good_enough(
+                    derive_signature(name, summaries, combo))
+                fast = solver._ge_fast(frozenset(combo))
+                assert slow == fast, (name, combo)
+
+
+def test_maximal_search_matches_exhaustive_on_fungible_token():
+    summaries = analyze_module(parse_module(CORPUS["FungibleToken"]))
+    solver = ShardingSolver("FT", summaries)
+    exhaustive_ge = solver.ge_selections()
+    sets = [frozenset(sel) for sel in exhaustive_ge]
+    exhaustive_maximal = sorted(
+        (tuple(sorted(sel)) for sel, fs in zip(exhaustive_ge, sets)
+         if not any(fs < other for other in sets)),
+        key=lambda m: (len(m), m))
+    assert solver.maximal_ge_selections() == exhaustive_maximal
+
+
+def test_xsgd_scale():
+    """The 18-transition contract is solvable in seconds (the naive
+    Σ (n choose k) enumeration takes over 80 s)."""
+    summaries = analyze_module(parse_module(CORPUS["XSGD"]))
+    report = ShardingSolver("XSGD", summaries).report()
+    assert report.n_transitions == 18
+    assert report.largest_ge_size == 12
+    assert report.n_maximal == 9

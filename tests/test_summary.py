@@ -1,0 +1,266 @@
+"""Effect-summary inference tests, including the Fig. 8 reproduction."""
+
+import pytest
+
+from repro.core.domain import (
+    CT, Card, ConstKey, FieldSource, ParamKey, PseudoField,
+)
+from repro.core.effects import (
+    AcceptFunds, Condition, Read, SendMsg, TopEffect, Write,
+)
+from repro.core.summary import analyze_module
+from repro.scilla import parse_module
+from repro.contracts import CORPUS
+
+
+def summaries_of(source: str):
+    return analyze_module(parse_module(source))
+
+
+def wrap(fields: str, body: str, params: str = "",
+         extra: str = "") -> str:
+    return f"""
+    scilla_version 0
+    library W
+    let zero = Uint128 0
+    contract W (owner: ByStr20)
+    {fields}
+    transition Go ({params})
+      {body}
+    end
+    {extra}
+    """
+
+
+PF = PseudoField
+
+
+def test_fig5_transfer_summary_matches_fig8():
+    """The paper's running example: the FungibleToken Transfer
+    transition must produce the Fig. 8 effects."""
+    summary = analyze_module(
+        parse_module(CORPUS["FungibleToken"]))["Transfer"]
+
+    reads = {r.pf for r in summary.reads()}
+    assert PF("balances", (ParamKey("_sender"),)) in reads
+    assert PF("balances", (ParamKey("to"),)) in reads
+
+    writes = {w.pf: w for w in summary.writes()}
+    sender_write = writes[PF("balances", (ParamKey("_sender"),))]
+    to_write = writes[PF("balances", (ParamKey("to"),))]
+
+    # Write(balances[_sender], ⟨amount & balances[_sender], 1, sub⟩)
+    self_contrib = sender_write.contrib.get(
+        FieldSource(PF("balances", (ParamKey("_sender"),))))
+    assert self_contrib.card == Card.ONE
+    assert self_contrib.ops == frozenset({"sub"})
+    assert self_contrib.exact
+
+    # Write(balances[to], ⟨amount & balances[to], 1, add⟩)
+    to_contrib = to_write.contrib.get(
+        FieldSource(PF("balances", (ParamKey("to"),))))
+    assert to_contrib.card == Card.ONE
+    assert to_contrib.ops == frozenset({"add"})
+    assert to_contrib.exact
+
+    # Condition(balances[_sender], amount): the bounds check.
+    conds = summary.conditions()
+    assert any(
+        isinstance(c.contrib, CT) and any(
+            isinstance(s, FieldSource)
+            and s.pf == PF("balances", (ParamKey("_sender"),))
+            for s, _ in c.contrib.sources)
+        for c in conds)
+    # ... but balances[to] affects no control flow.
+    assert not any(
+        isinstance(c.contrib, CT) and any(
+            isinstance(s, FieldSource)
+            and s.pf == PF("balances", (ParamKey("to"),))
+            for s, _ in c.contrib.sources)
+        for c in conds)
+
+    # SendMsg to the recipient with zero funds.
+    sends = summary.sends()
+    assert len(sends) == 1
+    (msg,) = sends[0].msgs
+    assert msg.amount_zero
+    assert msg.recipient == "to"
+
+
+def test_whole_field_load_and_store():
+    s = summaries_of(wrap("field n : Uint128 = Uint128 0",
+                          "x <- n;\n n := x"))["Go"]
+    assert Read(PF("n")) in s.effects
+    assert any(w.pf == PF("n") for w in s.writes())
+
+
+def test_map_access_keyed_by_param():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "x <- m[who];\n m[who] := zero", params="who: ByStr20"))["Go"]
+    assert Read(PF("m", (ParamKey("who"),))) in s.effects
+
+
+def test_map_access_keyed_by_local_is_top():
+    s = summaries_of(wrap(
+        "field m : Map ByStr32 Uint128 = Emp ByStr32 Uint128",
+        'k = builtin sha256hash owner;\n m[k] := zero'))["Go"]
+    assert s.has_top
+
+
+def test_map_key_from_contract_param_is_constant():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "m[owner] := zero"))["Go"]
+    (write,) = s.writes()
+    assert isinstance(write.pf.keys[0], ConstKey)
+
+
+def test_partial_nested_access_is_top():
+    """Non-bottom-level access to a nested map is not summarisable."""
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 (Map ByStr20 Uint128) = "
+        "Emp ByStr20 (Map ByStr20 Uint128)",
+        "x <- m[who]", params="who: ByStr20"))["Go"]
+    assert s.has_top
+
+
+def test_bottom_level_nested_access_ok():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 (Map ByStr20 Uint128) = "
+        "Emp ByStr20 (Map ByStr20 Uint128)",
+        "x <- m[a][b]", params="a: ByStr20, b: ByStr20"))["Go"]
+    assert not s.has_top
+    assert Read(PF("m", (ParamKey("a"), ParamKey("b")))) in s.effects
+
+
+def test_read_after_same_key_write_is_top():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "m[who] := zero;\n x <- m[who]", params="who: ByStr20"))["Go"]
+    assert s.has_top
+
+
+def test_read_after_different_key_write_is_summarised():
+    """The MapGet rule is syntactic: distinct parameter keys do not
+    block summarisation (NoAliases covers runtime aliasing)."""
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "m[a] := zero;\n x <- m[b]", params="a: ByStr20, b: ByStr20"))["Go"]
+    assert not s.has_top
+
+
+def test_accept_effect():
+    s = summaries_of(wrap("", "accept"))["Go"]
+    assert s.accepts_funds()
+
+
+def test_delete_is_write():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "delete m[who]", params="who: ByStr20"))["Go"]
+    (w,) = s.writes()
+    assert w.is_delete
+
+
+def test_condition_from_bool_match():
+    s = summaries_of(wrap(
+        "field n : Uint128 = Uint128 0",
+        "x <- n;\n big = builtin lt zero x;\n"
+        " match big with | True => | False => end"))["Go"]
+    (cond,) = s.conditions()
+    assert any(isinstance(src, FieldSource) and src.pf == PF("n")
+               for src, _ in cond.contrib.sources)
+
+
+def test_option_peel_generates_no_condition():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "x <- m[who];\n"
+        " v = match x with | Some b => b | None => zero end;\n"
+        " m[who] := v", params="who: ByStr20"))["Go"]
+    assert s.conditions() == []
+
+
+def test_exists_contributes_exists_op():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "p <- exists m[who];\n"
+        " match p with | True => | False => end",
+        params="who: ByStr20"))["Go"]
+    (cond,) = s.conditions()
+    assert Read(PF("m", (ParamKey("who"),))) in s.effects
+
+
+def test_send_unknown_message_is_top_send():
+    s = summaries_of(wrap(
+        "field stash : Map ByStr20 String = Emp ByStr20 String",
+        "x <- stash[who];\n"
+        " match x with\n"
+        " | Some tag =>\n"
+        "   m = { _tag : tag; _recipient : who; _amount : zero };\n"
+        "   ms = one_msg m;\n send ms\n"
+        " | None =>\n"
+        " end", params="who: ByStr20"))["Go"]
+    # Message with statically-known shape: recipient is a param.
+    (send,) = s.sends()
+    assert not send.is_top
+    assert send.msgs[0].recipient == "who"
+
+
+def test_send_field_read_value_is_unknown_recipient():
+    s = summaries_of(wrap(
+        "field target : ByStr20 = owner",
+        "t <- target;\n"
+        ' m = { _tag : "go"; _recipient : t; _amount : zero };\n'
+        " ms = one_msg m;\n send ms"))["Go"]
+    (send,) = s.sends()
+    assert send.msgs[0].recipient_kind == "unknown"
+
+
+def test_event_and_throw_produce_no_effects():
+    s = summaries_of(wrap(
+        "", 'e = { _eventname : "E" };\n event e'))["Go"]
+    assert s.effects == []
+
+
+def test_procedure_inlining_preserves_keys():
+    s = summaries_of(wrap(
+        "field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        "Helper who", params="who: ByStr20",
+        extra="""
+        procedure Helper (target: ByStr20)
+          m[target] := zero
+        end
+        """))["Go"]
+    # Key remains the *caller's* parameter after inlining.
+    (w,) = s.writes()
+    assert w.pf == PF("m", (ParamKey("who"),))
+
+
+def test_unknown_procedure_is_top():
+    src = wrap("", "Ghost")
+    module = parse_module(src)
+    s = analyze_module(module)["Go"]
+    assert s.has_top
+
+
+def test_nonlinear_write_detected():
+    s = summaries_of(wrap(
+        "field n : Uint128 = Uint128 0",
+        "x <- n;\n d = builtin add x x;\n n := d"))["Go"]
+    (w,) = s.writes()
+    assert w.contrib.get(FieldSource(PF("n"))).card == Card.MANY
+
+
+def test_condition_dedupe_keeps_strongest():
+    """Subsumed conditions are dropped, as in the Fig. 8 presentation."""
+    s = summaries_of(wrap(
+        "field n : Uint128 = Uint128 0",
+        "x <- n;\n"
+        " p = builtin lt zero x;\n"
+        " match p with | True => | False => end;\n"
+        " q = builtin lt amount x;\n"
+        " match q with | True => | False => end",
+        params="amount: Uint128"))["Go"]
+    assert len(s.conditions()) == 1

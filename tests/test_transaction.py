@@ -1,0 +1,105 @@
+"""Accounts, split-balance gas accounting, and nonce tracking."""
+
+from repro.chain.transaction import (
+    Account, NonceTracker, Transaction, call, payment,
+)
+from repro.scilla.values import uint
+
+
+# -- transactions --------------------------------------------------------------
+
+def test_call_constructor():
+    tx = call("0xaa", "0xcc", "Transfer", {"amount": uint(1)}, nonce=3)
+    assert tx.is_contract_call
+    assert tx.transition == "Transfer"
+    assert tx.args_dict()["amount"] == uint(1)
+    assert tx.nonce == 3
+
+
+def test_payment_constructor():
+    tx = payment("0xaa", "0xbb", amount=10, nonce=1)
+    assert not tx.is_contract_call
+    assert tx.amount == 10
+
+
+def test_tx_ids_unique():
+    a, b = payment("0xaa", "0xbb", 1), payment("0xaa", "0xbb", 1)
+    assert a.tx_id != b.tx_id
+
+
+# -- split-balance accounts -------------------------------------------------------
+
+def test_split_preserves_total():
+    acct = Account("0xaa", balance=1000)
+    acct.split_across(4, home_shard=2)
+    assert sum(acct.shard_portions.values()) == 1000
+
+
+def test_home_shard_gets_largest_portion():
+    acct = Account("0xaa", balance=1000)
+    acct.split_across(4, home_shard=2)
+    assert acct.shard_portions[2] == max(acct.shard_portions.values())
+
+
+def test_ds_portion_exists():
+    acct = Account("0xaa", balance=1000)
+    acct.split_across(3, home_shard=0)
+    assert -1 in acct.shard_portions
+
+
+def test_charge_respects_portion():
+    acct = Account("0xaa", balance=1000)
+    acct.split_across(4, home_shard=0)
+    small_shard = 1
+    portion = acct.shard_portions[small_shard]
+    assert not acct.charge(small_shard, portion + 1)
+    assert acct.charge(small_shard, portion)
+    assert acct.shard_portions[small_shard] == 0
+    assert acct.balance == 1000 - portion
+
+
+def test_credit_updates_total_and_portion():
+    acct = Account("0xaa", balance=0)
+    acct.split_across(2, home_shard=0)
+    acct.credit(50, shard=1)
+    assert acct.balance == 50
+    assert acct.shard_portions[1] == 50
+
+
+# -- nonce tracking -----------------------------------------------------------------
+
+def test_relaxed_allows_gaps_within_lane():
+    t = NonceTracker(strict=False)
+    assert t.try_accept("a", 1, lane=0)
+    assert t.try_accept("a", 5, lane=0)     # gap is fine
+    assert not t.try_accept("a", 3, lane=0)  # but not going backwards
+
+
+def test_relaxed_lanes_are_independent():
+    """Nonces {1,3,5} in one shard and {2,4} in another can proceed in
+    parallel — the paper's Sec. 4.2.1 example."""
+    t = NonceTracker(strict=False)
+    for n in (1, 3, 5):
+        assert t.try_accept("a", n, lane=0)
+    for n in (2, 4):
+        assert t.try_accept("a", n, lane=1)
+
+
+def test_replay_rejected_across_lanes():
+    t = NonceTracker(strict=False)
+    assert t.try_accept("a", 7, lane=0)
+    assert not t.try_accept("a", 7, lane=1)
+
+
+def test_strict_requires_gap_free_sequence():
+    t = NonceTracker(strict=True)
+    assert t.try_accept("a", 1, lane=0)
+    assert not t.try_accept("a", 3, lane=0)  # gap refused
+    assert t.try_accept("a", 2, lane=1)      # exact successor, any lane
+    assert t.try_accept("a", 3, lane=0)
+
+
+def test_senders_tracked_independently():
+    t = NonceTracker()
+    assert t.try_accept("a", 1, lane=0)
+    assert t.try_accept("b", 1, lane=0)

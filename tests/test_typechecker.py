@@ -1,0 +1,237 @@
+"""Type-checker tests: acceptance, rejection, and warning behaviour."""
+
+import pytest
+
+from repro.scilla.errors import TypeError_
+from repro.scilla.parser import parse_module
+from repro.scilla.typechecker import typecheck_module
+
+
+def check(source: str):
+    return typecheck_module(parse_module(source))
+
+
+def wrap(fields: str = "", body: str = "", params: str = "",
+         lib: str = "") -> str:
+    return f"""
+    scilla_version 0
+    library T
+    {lib}
+    contract T (owner: ByStr20)
+    {fields}
+    transition Go ({params})
+      {body}
+    end
+    """
+
+
+def test_well_typed_module_passes():
+    check(wrap(fields="field n : Uint128 = Uint128 0",
+               body="x <- n;\n y = builtin add x x;\n n := y"))
+
+
+def test_field_initialiser_type_mismatch():
+    with pytest.raises(TypeError_):
+        check(wrap(fields="field n : Uint128 = Uint32 0"))
+
+
+def test_store_type_mismatch():
+    with pytest.raises(TypeError_):
+        check(wrap(fields="field n : Uint128 = Uint128 0",
+                   body='n := "text"'))
+
+
+def test_map_key_type_mismatch():
+    with pytest.raises(TypeError_):
+        check(wrap(
+            fields="field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+            body="m[owner] := owner"))
+
+
+def test_map_value_type_checked():
+    check(wrap(
+        fields="field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+        body="v = Uint128 3;\n m[owner] := v"))
+
+
+def test_too_many_map_keys_rejected():
+    with pytest.raises(TypeError_):
+        check(wrap(
+            fields="field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128",
+            body="v = Uint128 3;\n m[owner][owner] := v"))
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(TypeError_):
+        check(wrap(body="x <- missing"))
+
+
+def test_unbound_identifier_rejected():
+    with pytest.raises(TypeError_):
+        check(wrap(body="y = builtin add ghost ghost"))
+
+
+def test_builtin_arg_type_mismatch():
+    with pytest.raises(TypeError_):
+        check(wrap(body='y = builtin add owner owner'))
+
+
+def test_mixed_width_arithmetic_rejected():
+    with pytest.raises(TypeError_):
+        check(wrap(body="a = Uint128 1;\n b = Uint32 1;\n"
+                        " c = builtin add a b"))
+
+
+def test_match_clause_types_must_agree():
+    with pytest.raises(TypeError_):
+        check(wrap(
+            body='flag = True;\n'
+                 'x = match flag with\n'
+                 '| True => Uint128 1\n'
+                 '| False => "nope"\n'
+                 'end'))
+
+
+def test_match_scrutinee_must_be_adt():
+    with pytest.raises(TypeError_):
+        check(wrap(body='x = Uint128 1;\n'
+                        'match x with | True => | False => end'))
+
+
+def test_constructor_from_wrong_adt_in_pattern():
+    with pytest.raises(TypeError_):
+        check(wrap(body='flag = True;\n'
+                        'match flag with | Some v => | None => end'))
+
+
+def test_nonexhaustive_match_warns_but_passes():
+    warnings = check(wrap(
+        body='flag = True;\n match flag with | True => end'))
+    assert any("does not cover" in w for w in warnings)
+
+
+def test_send_requires_list_of_messages():
+    with pytest.raises(TypeError_):
+        check(wrap(body='m = { _tag : "x"; _recipient : owner;'
+                        ' _amount : Uint128 0 };\n send m'))
+
+
+def test_send_accepts_message_list():
+    check(wrap(body='m = { _tag : "x"; _recipient : owner;'
+                    ' _amount : Uint128 0 };\n'
+                    ' ms = one_msg m;\n send ms'))
+
+
+def test_event_requires_message():
+    with pytest.raises(TypeError_):
+        check(wrap(body="x = Uint128 1;\n event x"))
+
+
+def test_procedure_arity_checked():
+    src = """
+    scilla_version 0
+    contract T (owner: ByStr20)
+    procedure P (x: Uint128)
+    end
+    transition Go ()
+      P
+    end
+    """
+    with pytest.raises(TypeError_):
+        check(src)
+
+
+def test_procedure_arg_type_checked():
+    src = """
+    scilla_version 0
+    contract T (owner: ByStr20)
+    procedure P (x: Uint128)
+    end
+    transition Go ()
+      P owner
+    end
+    """
+    with pytest.raises(TypeError_):
+        check(src)
+
+
+def test_calling_transition_as_procedure_rejected():
+    src = """
+    scilla_version 0
+    contract T (owner: ByStr20)
+    transition Other ()
+    end
+    transition Go ()
+      Other
+    end
+    """
+    with pytest.raises(TypeError_):
+        check(src)
+
+
+def test_duplicate_component_rejected():
+    src = """
+    scilla_version 0
+    contract T (owner: ByStr20)
+    transition Go ()
+    end
+    transition Go ()
+    end
+    """
+    with pytest.raises(TypeError_):
+        check(src)
+
+
+def test_non_storable_field_rejected():
+    with pytest.raises(TypeError_):
+        check(wrap(fields="field f : Uint128 -> Uint128 = "
+                          "fun (x: Uint128) => x"))
+
+
+def test_library_annotation_checked():
+    with pytest.raises(TypeError_):
+        check(wrap(lib="let zero : Uint32 = Uint128 0"))
+
+
+def test_polymorphic_library_function():
+    check(wrap(
+        lib="let identity = tfun 'A => fun (x: 'A) => x",
+        body="f = @identity Uint128;\n x = Uint128 1;\n y = f x"))
+
+
+def test_type_application_on_monomorphic_rejected():
+    with pytest.raises(TypeError_):
+        check(wrap(lib="let two = Uint128 2",
+                   body="f = @two Uint128"))
+
+
+def test_user_adt_usable_in_match():
+    src = """
+    scilla_version 0
+    library L
+    type Light =
+    | Off
+    | On of Uint32
+    let dim = Uint32 1
+    let lamp = On dim
+    contract C (o: ByStr20)
+    transition T ()
+      x = lamp;
+      match x with
+      | Off =>
+      | On level =>
+      end
+    end
+    """
+    assert check(src) == []
+
+
+def test_implicit_params_in_scope():
+    check(wrap(body="s = _sender;\n a = _amount;\n o = _origin"))
+
+
+def test_native_list_functions_typed():
+    check(wrap(
+        body="lst = Nil {Uint128};\n"
+             " len_op = @list_length Uint128;\n"
+             " n = len_op lst"))

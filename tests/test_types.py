@@ -1,0 +1,80 @@
+"""Type-representation tests: substitution, bounds, storability."""
+
+import pytest
+
+from repro.scilla import types as ty
+from repro.scilla.types import (
+    ADTType, FunType, MapType, PolyFun, PrimType, TypeVar, free_tvars,
+    int_bounds, is_int_type, is_signed, is_storable, is_unsigned,
+    substitute,
+)
+
+
+def test_int_type_predicates():
+    assert is_int_type(ty.UINT128)
+    assert is_unsigned(ty.UINT128)
+    assert is_signed(ty.INT32)
+    assert not is_int_type(ty.STRING)
+
+
+def test_int_bounds():
+    assert int_bounds(ty.UINT32) == (0, 2**32 - 1)
+    assert int_bounds(ty.INT32) == (-(2**31), 2**31 - 1)
+    assert int_bounds(ty.UINT256)[1] == 2**256 - 1
+
+
+def test_int_bounds_rejects_non_int():
+    with pytest.raises(ValueError):
+        int_bounds(ty.STRING)
+
+
+def test_bystr_width():
+    assert ty.bystr_width(ty.BYSTR20) == 20
+    assert ty.bystr_width(PrimType("ByStr")) is None
+
+
+def test_type_rendering():
+    t = MapType(ty.BYSTR20, MapType(ty.BYSTR20, ty.UINT128))
+    assert str(t) == "Map ByStr20 (Map ByStr20 Uint128)"
+    f = FunType(ty.UINT128, FunType(ty.UINT128, ty.BOOL))
+    assert str(f) == "Uint128 -> Uint128 -> Bool"
+    o = ADTType("Option", (ty.UINT128,))
+    assert str(o) == "Option Uint128"
+
+
+def test_substitute_in_adt_and_map():
+    t = MapType(TypeVar("'A"), ADTType("Option", (TypeVar("'A"),)))
+    out = substitute(t, {"'A": ty.UINT128})
+    assert out == MapType(ty.UINT128, ADTType("Option", (ty.UINT128,)))
+
+
+def test_substitute_respects_polyfun_shadowing():
+    t = PolyFun("'A", FunType(TypeVar("'A"), TypeVar("'B")))
+    out = substitute(t, {"'A": ty.UINT128, "'B": ty.STRING})
+    # 'A is bound by the PolyFun; only 'B substitutes.
+    assert out == PolyFun("'A", FunType(TypeVar("'A"), ty.STRING))
+
+
+def test_free_tvars():
+    t = FunType(TypeVar("'A"), PolyFun("'B", TypeVar("'B")))
+    assert free_tvars(t) == {"'A"}
+
+
+def test_storability():
+    assert is_storable(ty.UINT128)
+    assert is_storable(MapType(ty.BYSTR20, ty.UINT128))
+    assert is_storable(ADTType("Option", (ty.UINT128,)))
+    assert not is_storable(FunType(ty.UINT128, ty.UINT128))
+    assert not is_storable(MapType(ty.BYSTR20,
+                                   FunType(ty.UINT128, ty.UINT128)))
+    assert not is_storable(ty.MESSAGE)
+    assert not is_storable(TypeVar("'A"))
+
+
+def test_builtin_adts_registered():
+    assert set(ty.BUILTIN_ADTS) == {"Bool", "Option", "List", "Pair",
+                                    "Nat"}
+    assert ty.OPTION_ADT.constructor("Some").arg_types == \
+        (TypeVar("'A"),)
+    with pytest.raises(KeyError):
+        ty.BOOL_ADT.constructor("Maybe")

@@ -1,0 +1,200 @@
+"""End-to-end coverage of user-defined algebraic data types: library
+``type`` declarations flow through the typechecker, the interpreter,
+the CoSplit analysis and the sharded chain."""
+
+import pytest
+
+from repro.chain import Network, call
+from repro.core import run_pipeline
+from repro.core.domain import ParamKey, PseudoField
+from repro.core.constraints import Owns
+from repro.core.joins import JoinKind
+from repro.scilla.interpreter import Interpreter, TxContext
+from repro.scilla.parser import parse_module
+from repro.scilla.values import ADTVal, IntVal, addr, uint
+from repro.scilla import types as ty
+
+ORDER_BOOK = """
+scilla_version 0
+
+library OrderBook
+
+type OrderStatus =
+| Placed
+| Shipped of ByStr20
+| Delivered
+
+let placed = Placed
+
+contract OrderBook (seller: ByStr20)
+
+field orders : Map Uint64 OrderStatus = Emp Uint64 OrderStatus
+field completed : Uint64 = Uint64 0
+
+transition Place (order_id: Uint64)
+  taken <- exists orders[order_id];
+  match taken with
+  | True =>
+    e = { _exception : "OrderExists" };
+    throw e
+  | False =>
+    orders[order_id] := placed
+  end
+end
+
+transition Ship (order_id: Uint64, courier: ByStr20)
+  is_seller = builtin eq _sender seller;
+  match is_seller with
+  | False =>
+    e = { _exception : "NotSeller" };
+    throw e
+  | True =>
+    status_opt <- orders[order_id];
+    match status_opt with
+    | None =>
+      e = { _exception : "NoSuchOrder" };
+      throw e
+    | Some status =>
+      match status with
+      | Placed =>
+        shipped = Shipped courier;
+        orders[order_id] := shipped
+      | Shipped c =>
+        e = { _exception : "AlreadyShipped" };
+        throw e
+      | Delivered =>
+        e = { _exception : "AlreadyDelivered" };
+        throw e
+      end
+    end
+  end
+end
+
+transition ConfirmDelivery (order_id: Uint64)
+  status_opt <- orders[order_id];
+  match status_opt with
+  | None =>
+    e = { _exception : "NoSuchOrder" };
+    throw e
+  | Some status =>
+    match status with
+    | Shipped courier =>
+      done = Delivered;
+      orders[order_id] := done;
+      n <- completed;
+      one = Uint64 1;
+      new_n = builtin add n one;
+      completed := new_n
+    | _ =>
+      e = { _exception : "NotShipped" };
+      throw e
+    end
+  end
+end
+"""
+
+SELLER = "0x" + "5e" * 20
+BUYER = "0x" + "b1" * 20
+COURIER = "0x" + "c5" * 20
+
+
+def oid(n: int) -> IntVal:
+    return IntVal(n, ty.UINT64)
+
+
+@pytest.fixture
+def book():
+    module = parse_module(ORDER_BOOK, "OrderBook")
+    interp = Interpreter(module)
+    state = interp.deploy("0xc0", {"seller": addr(SELLER)})
+    return interp, state
+
+
+def test_typechecks_with_user_adt():
+    result = run_pipeline(ORDER_BOOK, "OrderBook")
+    assert result.warnings == []
+    assert set(result.summaries) == {"Place", "Ship", "ConfirmDelivery"}
+
+
+def test_state_machine_lifecycle(book):
+    interp, state = book
+    r = interp.run_transition(state, "Place", {"order_id": oid(1)},
+                              TxContext(sender=BUYER))
+    assert r.success
+    status = state.fields["orders"].entries[oid(1)]
+    assert isinstance(status, ADTVal) and status.constructor == "Placed"
+
+    # Only the seller may ship.
+    r = interp.run_transition(
+        state, "Ship", {"order_id": oid(1), "courier": addr(COURIER)},
+        TxContext(sender=BUYER))
+    assert not r.success
+    r = interp.run_transition(
+        state, "Ship", {"order_id": oid(1), "courier": addr(COURIER)},
+        TxContext(sender=SELLER))
+    assert r.success
+    status = state.fields["orders"].entries[oid(1)]
+    assert status.constructor == "Shipped"
+    assert status.args == (addr(COURIER),)
+
+    # Double shipping refused; delivery completes and counts.
+    r = interp.run_transition(
+        state, "Ship", {"order_id": oid(1), "courier": addr(COURIER)},
+        TxContext(sender=SELLER))
+    assert not r.success
+    r = interp.run_transition(state, "ConfirmDelivery",
+                              {"order_id": oid(1)},
+                              TxContext(sender=BUYER))
+    assert r.success
+    assert state.fields["completed"] == IntVal(1, ty.UINT64)
+
+
+def test_cannot_deliver_unshipped(book):
+    interp, state = book
+    interp.run_transition(state, "Place", {"order_id": oid(2)},
+                          TxContext(sender=BUYER))
+    r = interp.run_transition(state, "ConfirmDelivery",
+                              {"order_id": oid(2)},
+                              TxContext(sender=BUYER))
+    assert not r.success
+    assert "NotShipped" in r.error
+
+
+def test_adt_match_induces_condition_and_ownership():
+    """Matching on the order status is genuine data-dependent control
+    flow — the analysis must require ownership of the entry."""
+    result = run_pipeline(ORDER_BOOK, "OrderBook")
+    sig = result.signature(("Place", "Ship", "ConfirmDelivery"))
+    pf = PseudoField("orders", (ParamKey("order_id"),))
+    assert Owns(pf) in sig.constraints["Ship"]
+    assert Owns(pf) in sig.constraints["ConfirmDelivery"]
+    # The ADT-valued writes are overwrites; the counter is additive.
+    assert sig.joins["orders"] is JoinKind.OWN_OVERWRITE
+    assert sig.joins["completed"] is JoinKind.INT_MERGE
+
+
+def test_order_book_shards_by_order_id():
+    net = Network(4)
+    net.create_account(SELLER)
+    net.create_account(BUYER)
+    net.deploy(ORDER_BOOK, "0xc0", {"seller": addr(SELLER)},
+               sharded_transitions=("Place", "Ship", "ConfirmDelivery"))
+    placements = [call(BUYER, "0xc0", "Place", {"order_id": oid(i)},
+                       nonce=i + 1) for i in range(24)]
+    block = net.process_epoch(placements, unlimited=True)
+    assert block.n_committed == 24
+    shards_used = {r.shard for r in block.all_receipts}
+    assert len(shards_used) == 4  # spread by order id
+
+    ships = [call(SELLER, "0xc0", "Ship",
+                  {"order_id": oid(i), "courier": addr(COURIER)},
+                  nonce=i + 1) for i in range(24)]
+    block = net.process_epoch(ships, unlimited=True)
+    assert block.n_committed == 24
+    orders = net.contracts[_pad("0xc0")].state.fields["orders"].entries
+    assert all(v.constructor == "Shipped" for v in orders.values())
+
+
+def _pad(address: str) -> str:
+    body = address[2:]
+    return "0x" + body.rjust(40, "0").lower()
