@@ -13,8 +13,17 @@ from .dispatch import (
     DS, DeployedSignature, DispatchDecision, Dispatcher, key_token,
     shard_hash,
 )
+from .faults import (
+    FaultEvent, FaultInjector, FaultKind, FaultPlan,
+)
 from .lookup import LookupNode, TxPacket, packets_to_epoch
-from .network import DeployedContract, EpochStats, Network
+from .network import (
+    BacklogEntry, DeployedContract, EpochStats, Network,
+)
+from .recovery import (
+    DeltaViolation, NetworkCheckpoint, network_fingerprint,
+    state_fingerprint, validate_delta,
+)
 from .transaction import (
     Account, NonceTracker, Transaction, call, payment,
 )
@@ -25,7 +34,10 @@ __all__ = [
     "DeltaEntry", "StateDelta", "compute_delta", "merge_deltas",
     "DS", "DeployedSignature", "DispatchDecision", "Dispatcher",
     "key_token", "shard_hash",
+    "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan",
     "LookupNode", "TxPacket", "packets_to_epoch",
-    "DeployedContract", "EpochStats", "Network",
+    "BacklogEntry", "DeployedContract", "EpochStats", "Network",
+    "DeltaViolation", "NetworkCheckpoint", "network_fingerprint",
+    "state_fingerprint", "validate_delta",
     "Account", "NonceTracker", "Transaction", "call", "payment",
 ]

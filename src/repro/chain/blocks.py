@@ -45,6 +45,12 @@ class FinalBlock:
     merged_locations: int = 0
     epoch_seconds: float = 0.0
     stats: object = None  # EpochStats: dispatch routing breakdown
+    # Human-readable log of the faults injected / detected while this
+    # epoch was being finalised, in deterministic order.
+    fault_log: list[str] = dc_field(default_factory=list)
+    # Lanes the DS committee excluded after a timeout or a rejected
+    # delta, mapped to the reason (``crash``, ``delay-microblock``, …).
+    excluded_lanes: dict[int, str] = dc_field(default_factory=dict)
 
     @property
     def all_receipts(self) -> list[Receipt]:

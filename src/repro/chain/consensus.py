@@ -33,6 +33,10 @@ class CostModel:
     # Gas limits per epoch (mirroring mainnet shard/DS limits).
     shard_gas_limit: int = 700_000
     ds_gas_limit: int = 700_000
+    # How long the DS committee waits for a shard's MicroBlock before
+    # declaring the shard failed and starting recovery (view change).
+    # Every crashed / delayed / byzantine lane costs one full timeout.
+    microblock_timeout_s: float = 12.0
 
     def exec_seconds(self, gas: int) -> float:
         return gas / self.gas_per_second
@@ -44,13 +48,20 @@ class CostModel:
     def epoch_seconds(self, shard_exec: list[float], ds_exec: float,
                       merged_locations: int, shard_size: int,
                       ds_size: int, n_dispatched: int,
-                      with_cosplit: bool) -> float:
+                      with_cosplit: bool, timeouts: int = 0) -> float:
         """Total epoch wall time.
 
         Shards run in parallel (max), then the DS committee merges
         deltas and processes its own transactions, then final
         consensus.  Dispatch happens at lookup nodes concurrently with
         nothing else, so it adds per-transaction cost up front.
+
+        ``timeouts`` is the number of shard lanes whose MicroBlock the
+        DS committee waited out this epoch (crashed, delayed past the
+        consensus timeout, or rejected as byzantine).  Recovery is not
+        free: each such lane stalls the epoch for one full
+        ``microblock_timeout_s`` before its transactions are
+        re-executed on the DS lane.
         """
         dispatch_cost = n_dispatched * (
             self.dispatch_signature_s if with_cosplit
@@ -59,7 +70,9 @@ class CostModel:
             self.consensus_seconds(shard_size)
         merge_phase = merged_locations * self.merge_per_location_s
         ds_phase = ds_exec + self.consensus_seconds(ds_size)
-        return dispatch_cost + shard_phase + merge_phase + ds_phase
+        recovery_phase = timeouts * self.microblock_timeout_s
+        return (dispatch_cost + shard_phase + merge_phase + ds_phase
+                + recovery_phase)
 
 
 DEFAULT_COST_MODEL = CostModel()

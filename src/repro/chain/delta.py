@@ -66,7 +66,8 @@ def compute_delta(contract: str, shard: int, base: ContractState,
             if not isinstance(new, (IntVal, _Missing)) or \
                     not isinstance(old, (IntVal, _Missing)):
                 raise MergeConflict(
-                    f"IntMerge declared for non-integer location {key}")
+                    f"IntMerge declared for non-integer location {key}",
+                    contract=contract, key=key, shards=(shard,))
             diff = int_delta(old, new)
             if diff == 0:
                 continue
@@ -94,6 +95,7 @@ def merge_deltas(base: ContractState,
     overwritten: dict[StateKey, int] = {}
     int_accum: dict[StateKey, tuple[int, Value]] = {}
     changed = 0
+    int_shards: dict[StateKey, list[int]] = {}
     for delta in deltas:
         for entry in delta.entries:
             changed += 1
@@ -101,20 +103,28 @@ def merge_deltas(base: ContractState,
                 diff, template = int_accum.get(entry.key, (0, entry.template))
                 assert entry.template is not None
                 int_accum[entry.key] = (diff + entry.int_diff, entry.template)
+                int_shards.setdefault(entry.key, []).append(delta.shard)
                 if entry.key in overwritten:
                     raise MergeConflict(
                         f"shard {delta.shard} merges into {entry.key} "
-                        f"overwritten by shard {overwritten[entry.key]}")
+                        f"overwritten by shard {overwritten[entry.key]}",
+                        contract=delta.contract, key=entry.key,
+                        shards=(overwritten[entry.key], delta.shard))
             else:
                 prev = overwritten.get(entry.key)
                 if prev is not None and prev != delta.shard:
                     raise MergeConflict(
                         f"shards {prev} and {delta.shard} both overwrote "
-                        f"{entry.key}")
+                        f"{entry.key}",
+                        contract=delta.contract, key=entry.key,
+                        shards=(prev, delta.shard))
                 if entry.key in int_accum:
                     raise MergeConflict(
                         f"shard {delta.shard} overwrites {entry.key} "
-                        f"also merged into by another shard")
+                        f"also merged into by another shard",
+                        contract=delta.contract, key=entry.key,
+                        shards=(*int_shards.get(entry.key, ()),
+                                delta.shard))
                 overwritten[entry.key] = delta.shard
                 merged.write(entry.key, entry.new_value)
     for key, (diff, template) in int_accum.items():

@@ -119,7 +119,13 @@ class Dispatcher:
         ``bal[A]`` and ``allowances[A][D]`` in one shard, which is what
         lets TransferFrom satisfy both constraints in a single shard).
         Fields requiring whole-field ownership are assigned as a unit.
+
+        The contract address is normalised first, so dispatch (which
+        sees the transaction's possibly short-form ``to``) and the DS
+        committee's delta validation (which sees the deployed address)
+        agree on the assignment.
         """
+        contract = _pad(contract)
         if not key_values or pf.field in self._field_level_cache.get(
                 contract, set()):
             token = f"{contract}:{pf.field}"
@@ -177,6 +183,12 @@ class Dispatcher:
 
     def dispatch(self, tx: Transaction) -> DispatchDecision:
         if not tx.is_contract_call:
+            if self.is_contract(_pad(tx.to)):
+                # Plain payments cannot carry a transition; routing one
+                # at a contract to the sender's shard would credit a
+                # shadow user account there.  Send it to the DS, whose
+                # execution rejects it with the same reason.
+                return DispatchDecision(DS, "payment to contract")
             # User-to-user payment: sender's home shard (double-spend
             # detection stays local, Sec. 4.1).
             return DispatchDecision(self.home_shard(tx.sender), "payment")

@@ -29,6 +29,8 @@ from .blocks import FinalBlock, MicroBlock, Receipt
 from .consensus import DEFAULT_COST_MODEL, CostModel
 from .delta import StateDelta, compute_delta, merge_deltas
 from .dispatch import DS, DeployedSignature, Dispatcher, _pad
+from .faults import FaultInjector, FaultPlan
+from .recovery import DeltaViolation, NetworkCheckpoint, validate_delta
 from .transaction import Account, NonceTracker, Transaction
 
 PAYMENT_GAS = 50
@@ -48,6 +50,16 @@ class DeployedContract:
 
 
 @dataclass
+class BacklogEntry:
+    """A gas-deferred transaction waiting in the mempool for retry."""
+
+    tx: Transaction
+    retries: int = 0
+    # Earliest epoch at which the transaction is resubmitted (backoff).
+    not_before: int = 0
+
+
+@dataclass
 class EpochStats:
     dispatched: int = 0
     committed: int = 0
@@ -55,6 +67,26 @@ class EpochStats:
     deferred: int = 0
     to_ds: int = 0
     per_shard: dict[int, int] = dc_field(default_factory=dict)
+    # Recovery bookkeeping (see repro.chain.recovery).
+    recovered: int = 0        # txns from excluded lanes rerouted to DS
+    reexecuted: int = 0       # of those, actually executed this epoch
+    rejected_deltas: int = 0  # byzantine StateDeltas the DS refused
+    view_changes: int = 0     # epoch attempts discarded to a rollback
+    dead_lettered: int = 0    # txns dropped after max_retries
+
+
+@dataclass
+class _EpochAttempt:
+    """Everything one attempt at an epoch produced (pre-finalisation)."""
+
+    stats: EpochStats
+    microblocks: list[MicroBlock]
+    ds_block: MicroBlock
+    merged_locations: int
+    shard_exec_times: list[float]
+    deferred: list[tuple[int, Transaction]]
+    newly_faulty: dict[int, str]
+    rejected_deltas: int
 
 
 class Network:
@@ -65,7 +97,10 @@ class Network:
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  strict_nonces: bool = False,
                  overflow_guard: bool = False,
-                 carry_backlog: bool = False):
+                 carry_backlog: bool = False,
+                 fault_plan: FaultPlan | None = None,
+                 max_retries: int = 16,
+                 retry_backoff: float = 1.0):
         self.n_shards = n_shards
         self.shard_size = shard_size
         self.ds_size = ds_size
@@ -79,9 +114,16 @@ class Network:
         self.epoch = 0
         self.blocks: list[FinalBlock] = []
         # Opt-in mempool: transactions deferred by a lane's gas limit
-        # are retried in the next epoch instead of being dropped.
+        # are retried in later epochs instead of being dropped, with
+        # per-transaction backoff (retry_backoff ** retries epochs,
+        # rounded) and a dead-letter list after max_retries.
         self.carry_backlog = carry_backlog
-        self.backlog: list[Transaction] = []
+        self.backlog: list[BacklogEntry] = []
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.dead_letter: list[Transaction] = []
+        # Optional deterministic fault injection (repro.chain.faults).
+        self.injector = FaultInjector(fault_plan) if fault_plan else None
 
     # -- setup ----------------------------------------------------------------
 
@@ -142,19 +184,143 @@ class Network:
     def process_epoch(self, txns: list[Transaction],
                       unlimited: bool = False) -> FinalBlock:
         """Process one epoch; ``unlimited`` lifts the per-lane gas
-        limits (used for setup epochs that must commit everything)."""
+        limits (used for setup epochs that must commit everything).
+
+        An epoch only commits as a whole (the FinalBlock is the commit
+        point).  If the DS committee discovers a faulty lane mid-epoch
+        — a MicroBlock missing past the consensus timeout, or a
+        StateDelta that fails footprint validation — it rolls the
+        attempt back to the epoch-start checkpoint, excludes the lane,
+        and retries; the excluded lane's queue is re-executed on the DS
+        lane against the merged state (view change).
+        """
         self.epoch += 1
         shard_limit = 10**15 if unlimited else self.cost.shard_gas_limit
         ds_limit = 10**15 if unlimited else self.cost.ds_gas_limit
-        if self.carry_backlog and self.backlog:
-            txns = self.backlog + list(txns)
-            self.backlog = []
-        stats = EpochStats(dispatched=len(txns))
+        fault_log: list[str] = []
 
+        incoming = list(txns)
+        if self.injector is not None:
+            incoming = self.injector.churn_mempool(self.epoch, incoming,
+                                                   fault_log)
+        retries_of: dict[int, int] = {}
+        if self.carry_backlog and self.backlog:
+            due = [e for e in self.backlog if e.not_before <= self.epoch]
+            if due:
+                self.backlog = [e for e in self.backlog
+                                if e.not_before > self.epoch]
+                retries_of = {e.tx.tx_id: e.retries for e in due}
+                incoming = [e.tx for e in due] + incoming
+
+        checkpoint = NetworkCheckpoint.take(self)
+        excluded: dict[int, str] = {}
+        if self.injector is not None:
+            for shard in self.injector.crashed_shards(self.epoch):
+                excluded[shard] = "crash"
+                fault_log.append(f"epoch {self.epoch}: shard {shard} "
+                                 f"crashed before producing a MicroBlock")
+
+        attempt = 0
+        rejected_total = 0
+        while True:
+            attempt += 1
+            outcome = self._attempt_epoch(incoming, excluded,
+                                          shard_limit, ds_limit,
+                                          fault_log)
+            rejected_total += outcome.rejected_deltas
+            if not outcome.newly_faulty:
+                break
+            if attempt > self.n_shards + 1:  # cannot happen: every
+                raise RuntimeError(          # retry excludes ≥1 lane
+                    "view-change loop failed to converge")
+            excluded.update(outcome.newly_faulty)
+            checkpoint.restore(self)
+            fault_log.append(
+                f"epoch {self.epoch}: view change — retrying without "
+                f"lane(s) {sorted(outcome.newly_faulty)}")
+
+        stats = outcome.stats
+        stats.view_changes = attempt - 1
+        stats.rejected_deltas = rejected_total
+
+        # Account for every deferred transaction exactly once: retry
+        # via the mempool (with backoff, up to max_retries), or emit an
+        # explicit failure receipt so no transaction silently vanishes.
+        mb_by_lane = {mb.shard: mb for mb in outcome.microblocks}
+        carried = 0
+        for lane, tx in outcome.deferred:
+            if self.carry_backlog:
+                retries = retries_of.get(tx.tx_id, 0) + 1
+                if retries <= self.max_retries:
+                    wait = max(1, round(self.retry_backoff
+                                        ** (retries - 1)))
+                    self.backlog.append(BacklogEntry(
+                        tx, retries, self.epoch + wait))
+                    carried += 1
+                    continue
+                self.dead_letter.append(tx)
+                stats.dead_lettered += 1
+                receipt = Receipt(
+                    tx, False, 0, lane,
+                    error=f"deferred: {self.max_retries} retries "
+                          f"exhausted")
+            else:
+                receipt = Receipt(tx, False, 0, lane,
+                                  error="deferred: epoch gas limit")
+            if lane == DS or lane not in mb_by_lane:
+                outcome.ds_block.receipts.append(receipt)
+            else:
+                mb_by_lane[lane].receipts.append(receipt)
+
+        stats.committed = \
+            sum(mb.n_committed for mb in outcome.microblocks) + \
+            sum(1 for r in outcome.ds_block.receipts if r.success)
+        stats.failed = len(incoming) - stats.committed - carried
+        block = FinalBlock(
+            epoch=self.epoch,
+            microblocks=outcome.microblocks,
+            ds_receipts=outcome.ds_block.receipts,
+            merged_locations=outcome.merged_locations,
+            stats=stats,
+            fault_log=fault_log,
+            excluded_lanes=dict(excluded),
+        )
+        block.epoch_seconds = self.cost.epoch_seconds(
+            shard_exec=outcome.shard_exec_times,
+            ds_exec=self.cost.exec_seconds(outcome.ds_block.gas_used),
+            merged_locations=outcome.merged_locations,
+            shard_size=self.shard_size,
+            ds_size=self.ds_size,
+            n_dispatched=len(incoming),
+            with_cosplit=self.use_signatures,
+            timeouts=len(excluded),
+        )
+        self.blocks.append(block)
+        return block
+
+    def _attempt_epoch(self, incoming: list[Transaction],
+                       excluded: dict[int, str], shard_limit: int,
+                       ds_limit: int,
+                       fault_log: list[str]) -> _EpochAttempt:
+        """One attempt at the epoch, with the given lanes excluded.
+
+        Returns without merging anything if a new faulty lane is
+        discovered — the caller rolls back to the checkpoint and
+        retries.  Excluded lanes' queues are appended to the DS queue
+        and re-executed there against the merged global state.
+        """
+        injector = self.injector
+        stats = EpochStats(dispatched=len(incoming))
         queues: dict[int, list[Transaction]] = {s: [] for s in
                                                 range(self.n_shards)}
+        # The DS execution queue keeps the original submission order,
+        # interleaving organically DS-routed transactions with the
+        # queues of excluded lanes: re-execution must not reorder a
+        # sender's transactions across lanes, or relaxed-nonce checks
+        # would reject the lower nonces.
         ds_queue: list[Transaction] = []
-        for tx in txns:
+        recovered: list[Transaction] = []
+        for tx in incoming:
             decision = self.dispatcher.dispatch(tx)
             if decision.is_ds:
                 ds_queue.append(tx)
@@ -163,37 +329,86 @@ class Network:
                 queues[decision.shard].append(tx)
                 stats.per_shard[decision.shard] = \
                     stats.per_shard.get(decision.shard, 0) + 1
+                if decision.shard in excluded:
+                    ds_queue.append(tx)
+                    recovered.append(tx)
 
-        # Phase 1: shards execute in parallel lanes on epoch-start state.
+        mb_faults = (injector.microblock_faults(self.epoch)
+                     if injector else {})
+        delta_faults = (injector.delta_faults(self.epoch)
+                        if injector else {})
+
+        # Phase 1: live shards execute in parallel lanes on the
+        # epoch-start state.
         microblocks: list[MicroBlock] = []
         shard_exec_times: list[float] = []
         all_deltas: dict[str, list[StateDelta]] = {}
         balance_deltas: dict[str, int] = {}
+        deferred: list[tuple[int, Transaction]] = []
+        newly_faulty: dict[int, str] = {}
+        rejected = 0
         for shard, queue in queues.items():
-            mb, local_states, touched, deferred = self._run_lane(
+            if shard in excluded:
+                continue
+            fault = mb_faults.get(shard)
+            if fault is not None:
+                newly_faulty[shard] = str(fault)
+                fault_log.append(
+                    f"epoch {self.epoch}: shard {shard} MicroBlock "
+                    f"missing past the consensus timeout ({fault})")
+                continue
+            mb, local_states, touched, lane_deferred = self._run_lane(
                 shard, queue, shard_limit)
-            stats.deferred += len(deferred)
-            if self.carry_backlog:
-                self.backlog.extend(deferred)
-            microblocks.append(mb)
-            shard_exec_times.append(self.cost.exec_seconds(mb.gas_used))
+            lane_deltas: list[StateDelta] = []
+            lane_balance: dict[str, int] = {}
             for addr, local in local_states.items():
                 base = self.contracts[addr].state
                 delta = compute_delta(addr, shard, base, local,
                                       touched.get(addr, set()),
                                       self.contracts[addr].joins)
                 if delta.entries:
-                    mb.deltas.append(delta)
-                    all_deltas.setdefault(addr, []).append(delta)
+                    lane_deltas.append(delta)
                 # Native-token balance changes (accepts / payouts) are
                 # additive, so they merge like an IntMerge component.
+                lane_balance[addr] = local.balance - base.balance
+            kind = delta_faults.get(shard)
+            if kind is not None and injector is not None:
+                injector.tamper_deltas(self.epoch, shard, kind,
+                                       lane_deltas, self,
+                                       self._delta_validator, fault_log)
+            # The DS committee validates every delta against the
+            # deployed signature's write footprint before merging.
+            violations = [(delta, v) for delta in lane_deltas
+                          if (v := self._delta_validator(delta))
+                          is not None]
+            if violations:
+                rejected += len(violations)
+                newly_faulty[shard] = "byzantine-delta"
+                for _, violation in violations:
+                    fault_log.append(f"epoch {self.epoch}: {violation}")
+                continue
+            stats.deferred += len(lane_deferred)
+            deferred.extend((shard, tx) for tx in lane_deferred)
+            microblocks.append(mb)
+            shard_exec_times.append(self.cost.exec_seconds(mb.gas_used))
+            for delta in lane_deltas:
+                mb.deltas.append(delta)
+                all_deltas.setdefault(delta.contract, []).append(delta)
+            for addr, bdelta in lane_balance.items():
                 balance_deltas[addr] = (balance_deltas.get(addr, 0)
-                                        + local.balance - base.balance)
+                                        + bdelta)
+
+        if newly_faulty:
+            return _EpochAttempt(stats, microblocks,
+                                 MicroBlock(shard=DS, epoch=self.epoch),
+                                 0, shard_exec_times, deferred,
+                                 newly_faulty, rejected)
 
         # Phase 2: DS merges shard deltas (FSD).
         merged_locations = 0
         for addr, deltas in all_deltas.items():
-            merged, changed = merge_deltas(self.contracts[addr].state, deltas)
+            merged, changed = merge_deltas(self.contracts[addr].state,
+                                           deltas)
             self.contracts[addr].state = merged
             merged_locations += changed
         for addr, bdelta in balance_deltas.items():
@@ -202,34 +417,26 @@ class Network:
                 merged_locations += 1
 
         # Phase 3: DS executes the potentially-conflicting transactions
-        # directly on the merged global state.
-        ds_block, ds_states, _, ds_deferred = self._run_lane(
+        # directly on the merged global state, plus the queues of every
+        # excluded lane (the recovery path of the view change).
+        recovered_ids = {tx.tx_id for tx in recovered}
+        ds_block, _, _, ds_deferred = self._run_lane(
             DS, ds_queue, ds_limit, use_global_state=True)
         stats.deferred += len(ds_deferred)
-        if self.carry_backlog:
-            self.backlog.extend(ds_deferred)
+        deferred.extend((DS, tx) for tx in ds_deferred)
+        stats.recovered = len(recovered)
+        stats.reexecuted = sum(1 for r in ds_block.receipts
+                               if r.tx.tx_id in recovered_ids)
+        return _EpochAttempt(stats, microblocks, ds_block,
+                             merged_locations, shard_exec_times,
+                             deferred, newly_faulty, rejected)
 
-        stats.committed = sum(mb.n_committed for mb in microblocks) + \
-            sum(1 for r in ds_block.receipts if r.success)
-        stats.failed = len(txns) - stats.committed
-        block = FinalBlock(
-            epoch=self.epoch,
-            microblocks=microblocks,
-            ds_receipts=ds_block.receipts,
-            merged_locations=merged_locations,
-            stats=stats,
-        )
-        block.epoch_seconds = self.cost.epoch_seconds(
-            shard_exec=shard_exec_times,
-            ds_exec=self.cost.exec_seconds(ds_block.gas_used),
-            merged_locations=merged_locations,
-            shard_size=self.shard_size,
-            ds_size=self.ds_size,
-            n_dispatched=len(txns),
-            with_cosplit=self.use_signatures,
-        )
-        self.blocks.append(block)
-        return block
+    def _delta_validator(self, delta: StateDelta) -> DeltaViolation | None:
+        contract = self.contracts.get(delta.contract)
+        if contract is None:
+            return DeltaViolation(delta.contract, delta.shard, None,
+                                  "unknown contract")
+        return validate_delta(delta, contract, self.dispatcher)
 
     # -- lane execution ------------------------------------------------------------
 
@@ -264,6 +471,13 @@ class Network:
             return Receipt(tx, False, 0, lane, error="bad nonce")
 
         if not tx.is_contract_call:
+            if _pad(tx.to) in self.contracts:
+                # Mirrors the dispatcher's "payment to contract"
+                # routing: the funds stay with the sender instead of
+                # landing in a shadow user account under the contract's
+                # address.
+                return Receipt(tx, False, PAYMENT_GAS, lane,
+                               error="payment to contract address")
             fee = PAYMENT_GAS * tx.gas_price
             if not sender.charge(lane, tx.amount + fee):
                 return Receipt(tx, False, PAYMENT_GAS, lane,

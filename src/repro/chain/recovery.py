@@ -1,0 +1,203 @@
+"""Safety nets for the sharded network: checkpoints, delta validation
+and recovery bookkeeping.
+
+:mod:`repro.chain.faults` breaks the network; this module is how the
+network survives.  Three mechanisms, mirrored on real deployments:
+
+* **Per-epoch checkpoints** (:class:`NetworkCheckpoint`) — a snapshot
+  of every contract state, every account balance partition, and the
+  nonce tracker, taken before the shard phase.  A FinalBlock is the
+  only commit point: if the DS committee has to exclude a lane
+  mid-epoch (view change), the whole epoch attempt is rolled back to
+  the checkpoint and retried without the faulty lane.
+
+* **Delta footprint validation** (:func:`validate_delta`) — the DS
+  committee checks every received StateDelta against the deployed
+  sharding signature before merging it.  An ``OwnOverwrite`` entry
+  must live in a component the producing shard actually owns (the
+  same ``component_shard`` hash the lookup nodes route by), its join
+  kind must match the signature, and its field must exist.  A delta
+  violating any of these is byzantine: it is rejected with a
+  structured :class:`DeltaViolation`, never merged.  ``IntMerge``
+  entries commute, so any shard may legitimately contribute to them.
+
+* **State fingerprints** (:func:`state_fingerprint`) — a canonical,
+  order-independent hash of a contract state, used by the ``chaos``
+  consistency verdict to compare a faulty run against the fault-free
+  run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..core.domain import PseudoField
+from ..core.joins import JoinKind
+from ..scilla.state import ContractState, StateKey
+from ..scilla.values import MapVal, Value
+from .delta import StateDelta
+from .dispatch import DS, key_token
+
+
+# --------------------------------------------------------------------------
+# Delta validation against the deployed signature's write footprint.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeltaViolation:
+    """Why the DS committee rejected a shard's StateDelta."""
+
+    contract: str
+    shard: int
+    key: StateKey | None
+    reason: str
+
+    def __str__(self) -> str:
+        where = ""
+        if self.key is not None:
+            name, keys = self.key
+            where = name + "".join(f"[{k}]" for k in keys) + ": "
+        return (f"delta from shard {self.shard} for {self.contract} "
+                f"rejected ({where}{self.reason})")
+
+
+def validate_delta(delta: StateDelta, contract, dispatcher
+                   ) -> DeltaViolation | None:
+    """Check a shard's delta against the contract's write footprint.
+
+    ``contract`` is the network's ``DeployedContract``; ``dispatcher``
+    the lookup-node dispatcher whose ``component_shard`` assignment
+    the validation mirrors — routing and validation agree by
+    construction because they share the hash and the field-level
+    cache.
+
+    Soundness: every non-commutative (``OwnOverwrite``) write in a
+    selected transition carries an ``Owns`` constraint (signature
+    derivation, Fig. 9), so a legitimately routed transaction only
+    produces ``OwnOverwrite`` entries inside components owned by its
+    assigned shard.  For contracts dispatched by the default strategy
+    (no signature), only the contract's home shard executes shard-side
+    at all.  Anything else is byzantine.
+    """
+    def bad(key: StateKey | None, reason: str) -> DeltaViolation:
+        return DeltaViolation(delta.contract, delta.shard, key, reason)
+
+    if delta.shard == DS:
+        return bad(None, "the DS committee does not submit deltas")
+    joins = contract.joins
+    signature_mode = (dispatcher.use_signatures
+                      and contract.signature is not None)
+    for entry in delta.entries:
+        field, keys = entry.key
+        if field not in contract.state.field_types:
+            return bad(entry.key, f"unknown field {field!r}")
+        declared = joins.get(field, JoinKind.OWN_OVERWRITE)
+        if entry.kind is not declared:
+            return bad(entry.key,
+                       f"claims {entry.kind} but the deployed "
+                       f"signature declares {declared}")
+        if entry.kind is JoinKind.INT_MERGE:
+            continue  # commutative: any shard may contribute
+        if signature_mode:
+            try:
+                tokens = tuple(key_token(k) for k in keys)
+            except ValueError:
+                return bad(entry.key, "key not usable for ownership")
+            owner = dispatcher.component_shard(
+                delta.contract, PseudoField(field), tokens)
+        else:
+            owner = dispatcher.home_shard(delta.contract)
+        if owner != delta.shard:
+            return bad(entry.key,
+                       f"component owned by shard {owner}")
+    return None
+
+
+# --------------------------------------------------------------------------
+# Epoch checkpoints (the rollback target of a view change).
+# --------------------------------------------------------------------------
+
+@dataclass
+class NetworkCheckpoint:
+    """Everything an epoch attempt can mutate, snapshotted.
+
+    Restoring is idempotent and repeatable: the checkpoint keeps its
+    own private copies and hands out fresh ones on every
+    :meth:`restore`, so one checkpoint supports any number of view
+    changes within the epoch.
+    """
+
+    epoch: int
+    states: dict[str, ContractState]
+    accounts: dict[str, tuple[int, dict[int, int]]]
+    nonce_used: dict[str, set[int]]
+    nonce_last_global: dict[str, int]
+    nonce_last_per_lane: dict[tuple[str, int], int]
+    backlog: list
+
+    @classmethod
+    def take(cls, net) -> "NetworkCheckpoint":
+        return cls(
+            epoch=net.epoch,
+            states={addr: c.state.copy()
+                    for addr, c in net.contracts.items()},
+            accounts={addr: (acc.balance, dict(acc.shard_portions))
+                      for addr, acc in net.accounts.items()},
+            nonce_used={s: set(v) for s, v in net.nonces.used.items()},
+            nonce_last_global=dict(net.nonces.last_global),
+            nonce_last_per_lane=dict(net.nonces.last_per_lane),
+            backlog=list(net.backlog),
+        )
+
+    def restore(self, net) -> None:
+        for addr, state in self.states.items():
+            net.contracts[addr].state = state.copy()
+        # Accounts created lazily during the aborted attempt would
+        # otherwise keep credits from discarded lanes.
+        for addr in list(net.accounts):
+            if addr not in self.accounts:
+                del net.accounts[addr]
+        for addr, (balance, portions) in self.accounts.items():
+            account = net.accounts[addr]
+            account.balance = balance
+            account.shard_portions = dict(portions)
+        net.nonces.used = {s: set(v) for s, v in self.nonce_used.items()}
+        net.nonces.last_global = dict(self.nonce_last_global)
+        net.nonces.last_per_lane = dict(self.nonce_last_per_lane)
+        net.backlog = list(self.backlog)
+
+
+# --------------------------------------------------------------------------
+# Canonical state fingerprints (the chaos consistency verdict).
+# --------------------------------------------------------------------------
+
+def _canonical(value: Value):
+    """A JSON-able canonical form, independent of map insertion order
+    (which differs between a faulty run and a fault-free run even when
+    the final states are equal)."""
+    if isinstance(value, MapVal):
+        return {"map": sorted(
+            ((key_token(k), _canonical(v))
+             for k, v in value.entries.items()),
+            key=lambda kv: kv[0])}
+    return key_token(value)
+
+
+def state_fingerprint(state: ContractState) -> str:
+    """A stable hash of one contract's semantic state."""
+    payload = {
+        "address": state.address,
+        "balance": state.balance,
+        "fields": {name: _canonical(value)
+                   for name, value in sorted(state.fields.items())},
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def network_fingerprint(net) -> dict[str, str]:
+    """Fingerprints of every deployed contract, sorted by address."""
+    return {addr: state_fingerprint(net.contracts[addr].state)
+            for addr in sorted(net.contracts)}

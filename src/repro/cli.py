@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``):
     repro repair    <file|corpus:Name> [Transition] rewrite + print
     repro corpus                                    list corpus contracts
     repro bench     fig1|fig12|fig13|fig14|table|overheads|ablation
+    repro chaos     [--seed N --epochs E]           fault-injection run
 """
 
 from __future__ import annotations
@@ -161,6 +162,16 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .eval.chaos import format_chaos_report, run_chaos
+    result = run_chaos(seed=args.seed, epochs=args.epochs,
+                       shards=args.shards, workload=args.workload,
+                       users=args.users, txns=args.txns,
+                       churn=args.churn)
+    print(format_chaos_report(result))
+    return 0 if (result.churn or result.consistent) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,6 +221,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="write the report to this file (with 'all')")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a workload under seeded fault injection and verify "
+             "the final state matches the fault-free run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--workload", default="FT transfer",
+                   help="workload name as in `repro bench fig14`")
+    p.add_argument("--users", type=int, default=24)
+    p.add_argument("--txns", type=int, default=40,
+                   help="transactions per epoch")
+    p.add_argument("--churn", action="store_true",
+                   help="also drop/duplicate/reorder mempool "
+                        "transactions (disables the equivalence "
+                        "verdict)")
+    p.set_defaults(func=cmd_chaos)
     return parser
 
 

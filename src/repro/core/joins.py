@@ -36,7 +36,20 @@ class MergeConflict(ExecError):
     Under a valid sharding signature this never happens; it is an
     assertion of the paper's soundness claim and is exercised by tests
     that deliberately mis-shard.
+
+    Carries a structured payload so callers (the DS committee, the
+    recovery layer, tests) can tell *what* conflicted: the contract
+    address, the state location, and the shard ids involved.  All
+    fields are optional because some conflicts (e.g. a type error
+    inside ``apply_int_delta``) lack part of the context.
     """
+
+    def __init__(self, message: str, *, contract: str | None = None,
+                 key=None, shards: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.contract = contract
+        self.key = key
+        self.shards = tuple(shards)
 
 
 def int_delta(base: Value | _Missing, new: Value | _Missing) -> int:

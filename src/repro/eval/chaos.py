@@ -1,0 +1,148 @@
+"""Chaos harness: run a workload twice — fault-free and under a seeded
+:class:`~repro.chain.faults.FaultPlan` — and compare the final contract
+states.
+
+This is the executable form of the recovery argument: for
+signature-routed workloads, every lane-level fault (crash, delayed or
+dropped MicroBlock, corrupted or forged StateDelta) is repaired by the
+view-change protocol, so the faulty run must end in *exactly* the
+fault-free final state.  The report is deterministic: same seed, same
+bytes.  Mempool churn intentionally changes the submitted workload, so
+enabling it downgrades the verdict to a skip.
+
+Only contract states are compared.  Account gas portions legitimately
+diverge between the runs: a recovered transaction pays its gas on the
+DS lane instead of its home shard, which moves value between portions
+of the same account without changing any contract state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from ..chain.faults import FaultPlan
+from ..chain.network import Network
+from ..chain.recovery import network_fingerprint
+from ..workloads.generators import Workload, workload_by_name
+
+# Epochs allowed for draining the retry backlog after the measured
+# stream ends, before deferral is reported as a divergence.
+DRAIN_EPOCHS = 32
+
+
+@dataclass
+class ChaosResult:
+    seed: int
+    epochs: int
+    shards: int
+    workload: str
+    plan: FaultPlan
+    baseline_fp: dict[str, str]
+    faulty_fp: dict[str, str]
+    epoch_lines: list[str] = dc_field(default_factory=list)
+    fault_log: list[str] = dc_field(default_factory=list)
+    injected: int = 0
+    skipped: int = 0
+    dropped_txns: int = 0
+    dead_lettered: int = 0
+    churn: bool = False
+
+    @property
+    def consistent(self) -> bool:
+        return self.baseline_fp == self.faulty_fp
+
+    @property
+    def verdict(self) -> str:
+        if self.churn:
+            return ("SKIPPED — mempool churn changes the submitted "
+                    "workload, so fault/no-fault equivalence is not "
+                    "expected")
+        if self.consistent:
+            return ("CONSISTENT — the faulty run ended in the "
+                    "fault-free final state")
+        diverged = sorted(addr for addr in self.baseline_fp
+                          if self.faulty_fp.get(addr)
+                          != self.baseline_fp[addr])
+        return f"DIVERGENT — contract state differs: {diverged}"
+
+
+def _run(workload: Workload, epochs: int,
+         plan: FaultPlan | None, shards: int) -> Network:
+    net = Network(shards, carry_backlog=True, fault_plan=plan)
+    workload.setup(net)
+    for epoch in range(epochs):
+        net.process_epoch(workload.transactions(epoch))
+    for _ in range(DRAIN_EPOCHS):
+        if not net.backlog:
+            break
+        net.process_epoch([])
+    return net
+
+
+def run_chaos(seed: int = 0, epochs: int = 5, shards: int = 4,
+              workload: str = "FT transfer", users: int = 24,
+              txns: int = 40, churn: bool = False) -> ChaosResult:
+    """Run the fault-free and faulty networks and diff their ends.
+
+    The plan's window is ``epochs + 2`` from epoch 1, so it also
+    covers the workload's preparation epoch(s) — recovery has to hold
+    there too.
+    """
+    cls = workload_by_name(workload)
+    plan = FaultPlan.random(
+        seed, epochs=epochs + 2, n_shards=shards,
+        churn_rate=0.25 if churn else 0.0)
+
+    baseline = _run(cls(n_users=users, txns_per_epoch=txns, seed=seed),
+                    epochs, None, shards)
+    faulty = _run(cls(n_users=users, txns_per_epoch=txns, seed=seed),
+                  epochs, plan, shards)
+
+    result = ChaosResult(
+        seed=seed, epochs=epochs, shards=shards, workload=workload,
+        plan=plan,
+        baseline_fp=network_fingerprint(baseline),
+        faulty_fp=network_fingerprint(faulty),
+        churn=churn,
+    )
+    for block in faulty.blocks:
+        stats = block.stats
+        result.epoch_lines.append(
+            f"epoch {block.epoch}: committed {stats.committed}"
+            f"/{stats.dispatched}, view changes {stats.view_changes}, "
+            f"recovered {stats.recovered}, reexecuted "
+            f"{stats.reexecuted}, rejected deltas "
+            f"{stats.rejected_deltas}, deferred {stats.deferred}")
+        result.fault_log.extend(block.fault_log)
+    injector = faulty.injector
+    assert injector is not None
+    result.injected = injector.injected
+    result.skipped = injector.skipped
+    result.dropped_txns = len(injector.dropped)
+    result.dead_lettered = len(faulty.dead_letter)
+    return result
+
+
+def format_chaos_report(result: ChaosResult) -> str:
+    lines = [
+        f"chaos report — seed {result.seed}, {result.epochs} epochs, "
+        f"{result.shards} shards, workload {result.workload!r}",
+        "",
+        f"fault plan ({len(result.plan)} events):",
+    ]
+    plan_text = result.plan.describe()
+    lines.extend("  " + line for line in plan_text.splitlines())
+    lines.append("")
+    lines.append("faulty run, per epoch:")
+    lines.extend("  " + line for line in result.epoch_lines)
+    if result.fault_log:
+        lines.append("")
+        lines.append("fault log:")
+        lines.extend("  " + line for line in result.fault_log)
+    lines.append("")
+    lines.append(
+        f"totals: {result.injected} tamperings injected, "
+        f"{result.skipped} skipped, {result.dropped_txns} transactions "
+        f"dropped by churn, {result.dead_lettered} dead-lettered")
+    lines.append(f"consistency: {result.verdict}")
+    return "\n".join(lines)

@@ -97,8 +97,13 @@ def test_conflicting_overwrites_detected():
     f2.write(("bal", (StringVal("a"),)), uint(3))
     d1 = delta_between(base, f1, OVERWRITE, shard=0)
     d2 = delta_between(base, f2, OVERWRITE, shard=1)
-    with pytest.raises(MergeConflict):
+    with pytest.raises(MergeConflict) as ei:
         merge_deltas(base, [d1, d2])
+    # The conflict is structured: it names the contract, the state
+    # location, and the shards that clashed.
+    assert ei.value.contract == "0xc"
+    assert ei.value.key == ("bal", (StringVal("a"),))
+    assert set(ei.value.shards) == {0, 1}
 
 
 def test_overwrite_vs_intmerge_same_key_detected():
@@ -109,10 +114,14 @@ def test_overwrite_vs_intmerge_same_key_detected():
     d2 = StateDelta("0xc", 1, [DeltaEntry(
         ("bal", (StringVal("a"),)), JoinKind.INT_MERGE, int_diff=1,
         template=uint(1))])
-    with pytest.raises(MergeConflict):
+    with pytest.raises(MergeConflict) as ei:
         merge_deltas(base, [d1, d2])
-    with pytest.raises(MergeConflict):
+    assert ei.value.contract == "0xc"
+    assert set(ei.value.shards) == {0, 1}
+    with pytest.raises(MergeConflict) as ei:
         merge_deltas(base, [d2, d1])
+    assert ei.value.key == ("bal", (StringVal("a"),))
+    assert set(ei.value.shards) == {0, 1}
 
 
 def test_merge_leaves_base_untouched():

@@ -53,16 +53,22 @@ def _two_shard_runs(join_kind):
 
 def test_mis_sharded_overwrites_raise_merge_conflict():
     base, deltas = _two_shard_runs(JoinKind.OWN_OVERWRITE)
-    with pytest.raises(MergeConflict):
+    with pytest.raises(MergeConflict) as ei:
         merge_deltas(base, deltas)
+    assert ei.value.contract == "0xc0"
+    assert set(ei.value.shards) == {0, 1}
+    assert ei.value.key is not None
 
 
 def test_malicious_intmerge_claim_on_addresses_fails_loudly():
     """Declaring an address-valued field IntMerge cannot silently
     corrupt (or drop) writes: delta computation rejects non-integer
     locations outright."""
-    with pytest.raises(MergeConflict):
+    with pytest.raises(MergeConflict) as ei:
         _two_shard_runs(JoinKind.INT_MERGE)
+    assert ei.value.contract == "0xc0"
+    assert ei.value.key is not None
+    assert len(ei.value.shards) == 1
 
 
 def test_tampered_selection_rejected_by_miners():

@@ -1,0 +1,306 @@
+"""Recovery tests: checkpoints, delta validation, view changes,
+retry backoff and dead-lettering, and dispatch/execution agreement."""
+
+import pytest
+
+from repro.chain import Network, call, payment
+from repro.chain.consensus import CostModel
+from repro.chain.delta import DeltaEntry, StateDelta
+from repro.chain.dispatch import DS, _pad
+from repro.chain.faults import FaultEvent, FaultKind, FaultPlan
+from repro.chain.recovery import (
+    NetworkCheckpoint, network_fingerprint, state_fingerprint,
+    validate_delta,
+)
+from repro.core.joins import JoinKind
+from repro.contracts import CORPUS
+from repro.scilla.values import addr, uint, IntVal, StringVal
+from repro.scilla import types as ty
+
+TOKEN = "0x" + "c0" * 20
+ADMIN = "0x" + "ad" * 20
+USERS = ["0x" + f"{i:040x}" for i in range(1, 25)]
+
+
+def ft_network(n_shards=3, use_signatures=True, **kwargs) -> Network:
+    net = Network(n_shards, use_signatures=use_signatures, **kwargs)
+    net.create_account(ADMIN)
+    for u in USERS:
+        net.create_account(u)
+    net.deploy(CORPUS["FungibleToken"], TOKEN, {
+        "contract_owner": addr(ADMIN), "name": StringVal("T"),
+        "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(0),
+    }, sharded_transitions=("Mint", "Transfer", "TransferFrom"))
+    return net
+
+
+def mint_all(net, amount=1000):
+    txns = [call(ADMIN, TOKEN, "Mint",
+                 {"recipient": addr(u), "amount": uint(amount)},
+                 nonce=i + 1)
+            for i, u in enumerate(USERS)]
+    return net.process_epoch(txns, unlimited=True)
+
+
+def transfer_round(nonce=1):
+    return [call(u, TOKEN, "Transfer",
+                 {"to": addr(USERS[(i + 7) % len(USERS)]),
+                  "amount": uint(i + 1)}, nonce=nonce)
+            for i, u in enumerate(USERS)]
+
+
+# -- checkpoints --------------------------------------------------------------
+
+def test_checkpoint_restores_states_accounts_and_nonces():
+    net = ft_network()
+    mint_all(net)
+    checkpoint = NetworkCheckpoint.take(net)
+    before = network_fingerprint(net)
+    balance_before = net.accounts[_pad(USERS[0])].balance
+    nonces_before = dict(net.nonces.last_global)
+
+    net.process_epoch(transfer_round())
+    assert network_fingerprint(net) != before
+
+    checkpoint.restore(net)
+    assert network_fingerprint(net) == before
+    assert net.accounts[_pad(USERS[0])].balance == balance_before
+    assert net.nonces.last_global == nonces_before
+    # Restoring twice is fine (the checkpoint keeps private copies).
+    checkpoint.restore(net)
+    assert network_fingerprint(net) == before
+
+
+def test_checkpoint_drops_accounts_created_after_take():
+    net = ft_network()
+    checkpoint = NetworkCheckpoint.take(net)
+    net.create_account("0x" + "99" * 20)
+    checkpoint.restore(net)
+    assert _pad("0x" + "99" * 20) not in net.accounts
+
+
+def test_state_fingerprint_is_insertion_order_independent():
+    net1 = ft_network()
+    mint_all(net1)
+    net2 = ft_network()
+    txns = [call(ADMIN, TOKEN, "Mint",
+                 {"recipient": addr(u), "amount": uint(1000)},
+                 nonce=i + 1)
+            for i, u in enumerate(reversed(USERS))]
+    net2.process_epoch(txns, unlimited=True)
+    assert state_fingerprint(net1.contracts[TOKEN].state) == \
+        state_fingerprint(net2.contracts[TOKEN].state)
+
+
+# -- delta validation ---------------------------------------------------------
+
+def test_legitimate_deltas_validate_clean():
+    net = ft_network()
+    block = mint_all(net)
+    deltas = [d for mb in block.microblocks for d in mb.deltas]
+    assert deltas
+    for delta in deltas:
+        assert net._delta_validator(delta) is None
+
+
+def test_unknown_field_rejected():
+    net = ft_network()
+    delta = StateDelta(TOKEN, 0, [DeltaEntry(
+        ("no_such_field", ()), JoinKind.OWN_OVERWRITE,
+        new_value=uint(1))])
+    violation = net._delta_validator(delta)
+    assert violation is not None
+    assert "unknown field" in violation.reason
+    assert violation.shard == 0
+
+
+def test_join_kind_forgery_rejected():
+    # balances is IntMerge under the FT signature; claiming
+    # OwnOverwrite for it contradicts the deployed signature.
+    net = ft_network()
+    delta = StateDelta(TOKEN, 0, [DeltaEntry(
+        ("balances", (addr(USERS[0]),)), JoinKind.OWN_OVERWRITE,
+        new_value=uint(10**9))])
+    violation = net._delta_validator(delta)
+    assert violation is not None
+    assert "signature declares" in violation.reason
+
+
+def test_foreign_component_rejected_without_signature():
+    # Baseline contracts: only the contract's home shard may submit
+    # shard-side deltas at all.
+    net = ft_network(use_signatures=False)
+    home = net.dispatcher.home_shard(TOKEN)
+    foreign = (home + 1) % net.n_shards
+    entry = DeltaEntry(("total_supply", ()), JoinKind.OWN_OVERWRITE,
+                       new_value=uint(5))
+    assert net._delta_validator(StateDelta(TOKEN, home, [entry])) is None
+    violation = net._delta_validator(StateDelta(TOKEN, foreign, [entry]))
+    assert violation is not None
+    assert f"owned by shard {home}" in violation.reason
+
+
+def test_ds_submitted_delta_rejected():
+    net = ft_network()
+    violation = net._delta_validator(StateDelta(TOKEN, DS, []))
+    assert violation is not None
+
+
+# -- view-change recovery -----------------------------------------------------
+
+def test_crashed_shard_recovers_on_ds_lane():
+    plan = FaultPlan([FaultEvent(2, FaultKind.CRASH_SHARD, shard=s)
+                      for s in range(3)])
+    clean = ft_network()
+    mint_all(clean)
+    clean_block = clean.process_epoch(transfer_round())
+
+    faulty = ft_network(fault_plan=plan)
+    mint_all(faulty)
+    block = faulty.process_epoch(transfer_round())
+
+    assert block.excluded_lanes == {0: "crash", 1: "crash", 2: "crash"}
+    assert block.stats.recovered == len(USERS)
+    assert block.stats.reexecuted == len(USERS)
+    assert block.stats.committed == clean_block.stats.committed
+    assert block.fault_log
+    assert network_fingerprint(faulty) == network_fingerprint(clean)
+
+
+def test_delayed_microblock_triggers_view_change():
+    plan = FaultPlan([FaultEvent(2, FaultKind.DELAY_MICROBLOCK, 1)])
+    clean = ft_network()
+    mint_all(clean)
+    clean.process_epoch(transfer_round())
+
+    faulty = ft_network(fault_plan=plan)
+    mint_all(faulty)
+    block = faulty.process_epoch(transfer_round())
+
+    assert block.excluded_lanes == {1: "delay-microblock"}
+    assert block.stats.view_changes == 1
+    assert block.stats.recovered > 0
+    assert network_fingerprint(faulty) == network_fingerprint(clean)
+
+
+def test_byzantine_delta_rejected_not_merged():
+    plan = FaultPlan([FaultEvent(2, FaultKind.CORRUPT_DELTA, 0),
+                      FaultEvent(2, FaultKind.FORGE_DELTA, 2)])
+    clean = ft_network()
+    mint_all(clean)
+    clean.process_epoch(transfer_round())
+
+    faulty = ft_network(fault_plan=plan)
+    mint_all(faulty)
+    block = faulty.process_epoch(transfer_round())
+
+    assert block.stats.rejected_deltas >= 2
+    assert block.excluded_lanes.get(0) == "byzantine-delta"
+    assert block.excluded_lanes.get(2) == "byzantine-delta"
+    assert any("rejected" in line for line in block.fault_log)
+    # Rejection, not silent merge: the end state is the fault-free one.
+    assert network_fingerprint(faulty) == network_fingerprint(clean)
+
+
+def test_epoch_timing_charges_for_timeouts():
+    plan = FaultPlan([FaultEvent(2, FaultKind.CRASH_SHARD, 0)])
+    clean = ft_network()
+    mint_all(clean)
+    clean_block = clean.process_epoch(transfer_round())
+
+    faulty = ft_network(fault_plan=plan)
+    mint_all(faulty)
+    block = faulty.process_epoch(transfer_round())
+    assert block.epoch_seconds >= \
+        clean_block.epoch_seconds + faulty.cost.microblock_timeout_s - 1
+
+
+# -- deferred transactions: receipts, backoff, dead-lettering ----------------
+
+def test_deferred_without_backlog_gets_explicit_receipt():
+    tiny = CostModel(shard_gas_limit=200, ds_gas_limit=200)
+    net = ft_network(cost_model=tiny)
+    mint_all(net)
+    txns = transfer_round()
+    block = net.process_epoch(txns)
+    assert block.stats.deferred > 0
+    failures = [r for r in block.all_receipts
+                if r.error == "deferred: epoch gas limit"]
+    assert len(failures) == block.stats.deferred
+    # Every transaction is accounted in exactly one block.
+    receipt_ids = sorted(r.tx.tx_id for r in block.all_receipts)
+    assert receipt_ids == sorted(t.tx_id for t in txns)
+
+
+def test_backlog_backoff_spaces_out_retries():
+    tiny = CostModel(shard_gas_limit=200, ds_gas_limit=200)
+    net = ft_network(cost_model=tiny, carry_backlog=True,
+                     retry_backoff=2.0)
+    mint_all(net)
+    net.process_epoch(transfer_round())
+    assert net.backlog
+    first = {e.tx.tx_id: e.not_before for e in net.backlog}
+    assert all(e.retries == 1 for e in net.backlog)
+    assert all(nb == net.epoch + 1 for nb in first.values())
+    # One of them deferred a second time waits 2 epochs, not 1.
+    net.process_epoch([])
+    twice = [e for e in net.backlog if e.retries == 2]
+    if twice:
+        assert all(e.not_before == net.epoch + 2 for e in twice)
+
+
+def test_dead_letter_after_max_retries():
+    tiny = CostModel(shard_gas_limit=120, ds_gas_limit=120)
+    net = ft_network(cost_model=tiny, carry_backlog=True, max_retries=2)
+    mint_all(net)
+    txns = transfer_round()
+    net.process_epoch(txns)
+    for _ in range(12):
+        if not net.backlog:
+            break
+        net.process_epoch([])
+    assert net.dead_letter
+    exhausted = [r for b in net.blocks for r in b.all_receipts
+                 if r.error == "deferred: 2 retries exhausted"]
+    assert len(exhausted) == len(net.dead_letter)
+    assert sum(b.stats.dead_lettered for b in net.blocks) == \
+        len(net.dead_letter)
+    # Accounting: every transfer either committed or was dead-lettered.
+    committed = sum(1 for b in net.blocks for r in b.all_receipts
+                    if r.success and r.tx.is_contract_call
+                    and r.tx.transition == "Transfer")
+    assert committed + len(net.dead_letter) == len(txns)
+
+
+# -- dispatch / execution agreement ------------------------------------------
+
+def test_payment_to_contract_routed_and_rejected_consistently():
+    net = ft_network()
+    tx = payment(USERS[0], TOKEN, amount=500, nonce=1)
+    decision = net.dispatcher.dispatch(tx)
+    assert decision.is_ds
+    assert decision.reason == "payment to contract"
+
+    block = net.process_epoch([tx])
+    (receipt,) = block.all_receipts
+    assert not receipt.success
+    assert receipt.error == "payment to contract address"
+    assert receipt.shard == DS
+    # No shadow user account was credited under the contract address.
+    assert _pad(TOKEN) not in net.accounts
+    assert net.contracts[TOKEN].state.balance == 0
+
+
+def test_unknown_contract_call_routed_and_rejected_consistently():
+    net = ft_network()
+    ghost = "0x" + "ee" * 20
+    tx = call(USERS[0], ghost, "Ping", {}, nonce=1)
+    decision = net.dispatcher.dispatch(tx)
+    assert decision.is_ds
+    assert decision.reason == "unknown contract"
+    block = net.process_epoch([tx])
+    (receipt,) = block.all_receipts
+    assert not receipt.success
+    assert receipt.error == "unknown contract"
+    assert receipt.shard == DS
