@@ -16,9 +16,11 @@ from .dispatch import (
 from .faults import (
     FaultEvent, FaultInjector, FaultKind, FaultPlan,
 )
+from .lanes import LaneResult, LaneTask, build_lane_task, run_lane_task
 from .lookup import LookupNode, TxPacket, packets_to_epoch
 from .network import (
-    BacklogEntry, DeployedContract, EpochStats, Network,
+    BacklogEntry, DeployedContract, EpochStats, EXECUTOR_STRATEGIES,
+    Network,
 )
 from .recovery import (
     DeltaViolation, NetworkCheckpoint, network_fingerprint,
@@ -35,8 +37,10 @@ __all__ = [
     "DS", "DeployedSignature", "DispatchDecision", "Dispatcher",
     "key_token", "shard_hash",
     "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan",
+    "LaneResult", "LaneTask", "build_lane_task", "run_lane_task",
     "LookupNode", "TxPacket", "packets_to_epoch",
-    "BacklogEntry", "DeployedContract", "EpochStats", "Network",
+    "BacklogEntry", "DeployedContract", "EpochStats",
+    "EXECUTOR_STRATEGIES", "Network",
     "DeltaViolation", "NetworkCheckpoint", "network_fingerprint",
     "state_fingerprint", "validate_delta",
     "Account", "NonceTracker", "Transaction", "call", "payment",

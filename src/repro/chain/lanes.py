@@ -1,0 +1,308 @@
+"""Isolated shard-lane execution for the parallel epoch executors.
+
+Why lanes may run concurrently at all
+-------------------------------------
+
+Signature dispatch guarantees that two transactions routed to
+different shard lanes have *disjoint write footprints* on contract
+state (the ``Owns`` constraints of Sec. 4.3), that their gas charges
+come out of per-lane balance portions (split-balance accounting,
+Sec. 4.2.2), and that relaxed nonce checking is per-lane by
+construction (Sec. 4.2.1).  Within one epoch, therefore, a lane's
+execution depends only on the epoch-start state and on its own queue —
+which is what the serial loop in ``Network._attempt_epoch`` implicitly
+relies on, and what this module makes explicit.
+
+A :class:`LaneTask` snapshots everything a lane may read (contract
+states, account balances, nonce history); :func:`run_lane_task`
+rebuilds a private, fully isolated ``Network`` around that snapshot
+and executes the queue through the *identical* ``_run_lane`` code path
+the serial executor uses; the resulting :class:`LaneResult` carries
+the MicroBlock plus the lane's side effects as *deltas* which the DS
+committee applies in deterministic shard order.  Because every decision
+a lane makes is independent of its siblings (see
+``docs/PARALLELISM.md`` for the argument, and
+``tests/test_parallel_equivalence.py`` for the differential oracle),
+delta-merging in shard order reproduces the serial execution exactly —
+byte-identical receipts, stats, and state fingerprints.
+
+The cases where lane independence does NOT hold — strict nonce mode,
+or the same ``(sender, nonce)`` submitted to two different lanes — are
+detected up front by ``Network._lane_strategy`` and fall back to the
+serial loop for that epoch.
+
+Worker-side caching: process-pool tasks ship contract *source text*
+rather than AST; each worker rebuilds (and caches, keyed by source
+hash) the parsed module and an interpreter per lane, so steady-state
+epochs pickle only states, queues and balances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field as dc_field
+
+from ..scilla.ast import Module
+from ..scilla.interpreter import Interpreter
+from ..scilla.state import ContractState
+from .blocks import MicroBlock
+from .delta import StateDelta, compute_delta
+from .transaction import Account, Transaction
+
+
+@dataclass
+class LaneContractPayload:
+    """What a worker needs to rebuild one deployed contract."""
+
+    source_hash: str
+    source: str                      # "" when the module ships directly
+    module: Module | None            # None when the source ships instead
+    state: ContractState             # epoch-start state (private copy)
+    signature: object | None         # ShardingSignature (carries joins)
+
+
+@dataclass
+class LaneTask:
+    """One shard lane's slice of an epoch, fully self-contained."""
+
+    lane: int
+    epoch: int
+    n_shards: int
+    use_signatures: bool
+    overflow_guard: bool
+    gas_limit: int
+    queue: list[Transaction]
+    contracts: dict[str, LaneContractPayload]
+    # Account snapshot: address -> (balance, shard portions).
+    accounts: dict[str, tuple[int, dict[int, int]]]
+    # Nonce snapshot: full used-sets (replay detection) and this lane's
+    # per-lane high-water marks (relaxed ordering).
+    nonce_used: dict[str, set[int]]
+    nonce_last_lane: dict[str, int]
+    # Thread-mode only: per-network interpreter cache, keyed by
+    # (lane, source_hash).  Never pickled — process tasks leave it None
+    # and use the per-worker module cache instead.
+    runtime_cache: dict | None = dc_field(default=None, repr=False)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["runtime_cache"] = None
+        return state
+
+
+@dataclass
+class LaneResult:
+    """A lane's MicroBlock plus its side effects, as mergeable deltas."""
+
+    lane: int
+    microblock: MicroBlock
+    deltas: list[StateDelta]
+    balance_deltas: dict[str, int]
+    deferred: list[Transaction]
+    # address -> (balance delta, portion deltas); addresses the lane
+    # created are present even when every delta is zero, so lazily
+    # created accounts exist in the merged network exactly as they
+    # would after a serial epoch.
+    account_deltas: dict[str, tuple[int, dict[int, int]]]
+    nonce_used_added: dict[str, set[int]]
+    nonce_last_global: dict[str, int]
+    nonce_last_lane: dict[str, int]
+
+    def apply_effects(self, net) -> None:
+        """Merge this lane's account/nonce effects into the network.
+
+        Charges and credits are additive and land in per-lane portions,
+        so applying lanes in ascending shard order reproduces the
+        serial interleaving exactly.
+        """
+        for addr in sorted(self.account_deltas):
+            bal_d, portions_d = self.account_deltas[addr]
+            account = net._account(addr)
+            account.balance += bal_d
+            for shard, d in portions_d.items():
+                account.shard_portions[shard] = \
+                    account.shard_portions.get(shard, 0) + d
+        nonces = net.nonces
+        for sender, added in self.nonce_used_added.items():
+            nonces.used.setdefault(sender, set()).update(added)
+        for sender, value in self.nonce_last_global.items():
+            if value > nonces.last_global.get(sender, 0):
+                nonces.last_global[sender] = value
+        for sender, value in self.nonce_last_lane.items():
+            nonces.last_per_lane[(sender, self.lane)] = value
+
+
+# --------------------------------------------------------------------------
+# Task construction (main process).
+# --------------------------------------------------------------------------
+
+def source_hash(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def build_lane_task(net, lane: int, queue: list[Transaction],
+                    gas_limit: int, ship_modules: bool) -> LaneTask:
+    """Snapshot the network into a self-contained lane task.
+
+    ``ship_modules=True`` (thread executor) shares the live AST and
+    the network's per-lane interpreter cache; ``False`` (process
+    executor) ships source text and lets the worker's own cache
+    rebuild the runtime.  Contract states are always private copies.
+    """
+    contracts: dict[str, LaneContractPayload] = {}
+    for addr, c in net.contracts.items():
+        src = getattr(c, "source", "")
+        contracts[addr] = LaneContractPayload(
+            source_hash=source_hash(src) if src else f"module:{id(c.module)}",
+            source="" if (ship_modules or not src) else src,
+            module=c.module if (ship_modules or not src) else None,
+            state=c.state.copy(),
+            signature=c.signature,
+        )
+    accounts = {addr: (acc.balance, dict(acc.shard_portions))
+                for addr, acc in net.accounts.items()}
+    nonce_used = {s: set(v) for s, v in net.nonces.used.items()}
+    nonce_last_lane = {s: v for (s, l), v in net.nonces.last_per_lane.items()
+                       if l == lane}
+    return LaneTask(
+        lane=lane, epoch=net.epoch, n_shards=net.n_shards,
+        use_signatures=net.use_signatures,
+        overflow_guard=net.overflow_guard, gas_limit=gas_limit,
+        queue=queue, contracts=contracts, accounts=accounts,
+        nonce_used=nonce_used, nonce_last_lane=nonce_last_lane,
+        runtime_cache=net._runtime_cache if ship_modules else None,
+    )
+
+
+# --------------------------------------------------------------------------
+# Task execution (worker side; also runs in-process for threads).
+# --------------------------------------------------------------------------
+
+# Per-worker-process runtime cache: (lane, source_hash) -> (module,
+# interpreter).  Keyed by lane as well so two *thread* tasks of one
+# epoch never share an interpreter (run_transition installs a gas hook
+# on the instance); process workers execute one task at a time, so for
+# them the lane key only costs a few duplicate 40µs constructions.
+_worker_runtime_cache: dict[tuple[int, str], tuple[Module, Interpreter]] = {}
+
+
+def _runtime_for(lane: int, payload: LaneContractPayload,
+                 cache: dict | None) -> tuple[Module, Interpreter]:
+    cache = _worker_runtime_cache if cache is None else cache
+    key = (lane, payload.source_hash)
+    hit = cache.get(key)
+    if hit is not None and (payload.module is None
+                            or hit[0] is payload.module):
+        return hit
+    module = payload.module
+    if module is None:
+        from ..scilla.parser import parse_module
+        from ..scilla.typechecker import typecheck_module
+        module = parse_module(payload.source, "<lane>")
+        typecheck_module(module)
+    runtime = (module, Interpreter(module))
+    cache[key] = runtime
+    return runtime
+
+
+def run_lane_task(task: LaneTask) -> LaneResult:
+    """Execute one lane in complete isolation.
+
+    Builds a private Network holding only copies of the task snapshot
+    and runs the ordinary sequential ``_run_lane`` over the queue, so
+    the execution semantics are *the same code* as the serial
+    executor's — parallelism changes scheduling, never meaning.
+    """
+    from .network import DeployedContract, Network
+
+    net = Network(task.n_shards, use_signatures=task.use_signatures,
+                  overflow_guard=task.overflow_guard, executor="serial")
+    net.epoch = task.epoch
+    for addr, payload in task.contracts.items():
+        module, interp = _runtime_for(task.lane, payload,
+                                      task.runtime_cache)
+        net.contracts[addr] = DeployedContract(
+            addr, module, interp, payload.state, payload.signature)
+    net.accounts = {
+        addr: Account(addr, balance, dict(portions))
+        for addr, (balance, portions) in task.accounts.items()}
+    net.nonces.used = {s: set(v) for s, v in task.nonce_used.items()}
+    net.nonces.last_per_lane = {
+        (s, task.lane): v for s, v in task.nonce_last_lane.items()}
+
+    mb, local_states, touched, deferred = net._run_lane(
+        task.lane, task.queue, task.gas_limit)
+
+    deltas: list[StateDelta] = []
+    balance_deltas: dict[str, int] = {}
+    for addr, local in local_states.items():
+        base = net.contracts[addr].state
+        delta = compute_delta(addr, task.lane, base, local,
+                              touched.get(addr, set()),
+                              net.contracts[addr].joins)
+        if delta.entries:
+            deltas.append(delta)
+        balance_deltas[addr] = local.balance - base.balance
+
+    account_deltas: dict[str, tuple[int, dict[int, int]]] = {}
+    for addr, account in net.accounts.items():
+        pre = task.accounts.get(addr)
+        pre_balance, pre_portions = pre if pre is not None else (0, {})
+        bal_d = account.balance - pre_balance
+        portions_d = {
+            shard: d for shard in
+            set(account.shard_portions) | set(pre_portions)
+            if (d := account.shard_portions.get(shard, 0)
+                - pre_portions.get(shard, 0))}
+        if bal_d or portions_d or pre is None:
+            account_deltas[addr] = (bal_d, portions_d)
+
+    nonce_used_added = {}
+    for sender, values in net.nonces.used.items():
+        base = task.nonce_used.get(sender)
+        added = values - base if base is not None else set(values)
+        if added:
+            nonce_used_added[sender] = added
+    nonce_last_lane = {s: v for (s, l), v in net.nonces.last_per_lane.items()
+                       if l == task.lane and task.nonce_last_lane.get(s) != v}
+
+    return LaneResult(
+        lane=task.lane, microblock=mb, deltas=deltas,
+        balance_deltas=balance_deltas, deferred=deferred,
+        account_deltas=account_deltas,
+        nonce_used_added=nonce_used_added,
+        nonce_last_global=dict(net.nonces.last_global),
+        nonce_last_lane=nonce_last_lane,
+    )
+
+
+# --------------------------------------------------------------------------
+# Scheduling (main process).
+# --------------------------------------------------------------------------
+
+def run_lanes(net, lanes: list[tuple[int, list[Transaction]]],
+              gas_limit: int, strategy: str
+              ) -> dict[int, LaneResult] | None:
+    """Run the given (shard, queue) lanes under the chosen executor.
+
+    Returns ``None`` on any pool-level failure (broken pool, pickling
+    surprise); the caller then redoes the epoch with the serial loop —
+    nothing has been mutated yet, so the fallback is transparent and
+    the results are identical either way.
+    """
+    from ..core.parallel import (
+        reset_process_pool, shared_process_pool, shared_thread_pool,
+    )
+    ship_modules = strategy == "thread"
+    try:
+        tasks = [build_lane_task(net, shard, queue, gas_limit,
+                                 ship_modules=ship_modules)
+                 for shard, queue in lanes]
+        pool = (shared_thread_pool(net.lane_workers) if ship_modules
+                else shared_process_pool(net.lane_workers))
+        results = list(pool.map(run_lane_task, tasks))
+        return {r.lane: r for r in results}
+    except Exception:
+        if strategy == "process":
+            reset_process_pool()
+        return None

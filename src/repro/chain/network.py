@@ -15,10 +15,11 @@ to it; the FinalBlock's state becomes the next epoch's start state.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field as dc_field
 
 from ..core.joins import JoinKind
-from ..core.pipeline import run_pipeline
+from ..core.pipeline import run_pipeline_cached
 from ..core.signature import ShardingSignature
 from ..scilla.ast import Module
 from ..scilla.interpreter import Interpreter, TxContext
@@ -30,10 +31,20 @@ from .consensus import DEFAULT_COST_MODEL, CostModel
 from .delta import StateDelta, compute_delta, merge_deltas
 from .dispatch import DS, DeployedSignature, Dispatcher, _pad
 from .faults import FaultInjector, FaultPlan
+from .lanes import LaneResult, run_lanes
 from .recovery import DeltaViolation, NetworkCheckpoint, validate_delta
 from .transaction import Account, NonceTracker, Transaction
 
 PAYMENT_GAS = 50
+
+# Lane executor strategies for Network.process_epoch.  "serial" is the
+# reference implementation; "thread"/"process" execute independent
+# shard lanes concurrently through repro.chain.lanes with results
+# merged in deterministic shard order — observationally identical to
+# serial (tests/test_parallel_equivalence.py is the differential
+# oracle).  The default comes from the REPRO_EXECUTOR env var so a
+# whole test run can be pointed at a parallel path.
+EXECUTOR_STRATEGIES = ("serial", "thread", "process")
 
 
 @dataclass
@@ -43,6 +54,9 @@ class DeployedContract:
     interpreter: Interpreter
     state: ContractState
     signature: ShardingSignature | None = None
+    # Original source text; lets the process-pool lane executor ship
+    # compact text (re-parsed once per worker) instead of pickled ASTs.
+    source: str = ""
 
     @property
     def joins(self) -> dict[str, JoinKind]:
@@ -100,7 +114,9 @@ class Network:
                  carry_backlog: bool = False,
                  fault_plan: FaultPlan | None = None,
                  max_retries: int = 16,
-                 retry_backoff: float = 1.0):
+                 retry_backoff: float = 1.0,
+                 executor: str | None = None,
+                 lane_workers: int | None = None):
         self.n_shards = n_shards
         self.shard_size = shard_size
         self.ds_size = ds_size
@@ -124,6 +140,23 @@ class Network:
         self.dead_letter: list[Transaction] = []
         # Optional deterministic fault injection (repro.chain.faults).
         self.injector = FaultInjector(fault_plan) if fault_plan else None
+        # Shard-lane execution strategy (see EXECUTOR_STRATEGIES).
+        if executor is None:
+            executor = os.environ.get("REPRO_EXECUTOR", "serial")
+        if executor not in EXECUTOR_STRATEGIES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{EXECUTOR_STRATEGIES}")
+        self.executor = executor
+        self.lane_workers = lane_workers
+        # (lane, source-hash) -> (module, interpreter), reused across
+        # epochs by the thread executor so each lane keeps a private
+        # interpreter (run_transition installs a per-call gas hook).
+        self._runtime_cache: dict = {}
+        # Epochs where a parallel executor was requested but the epoch
+        # ran serially (strict nonces, cross-lane nonce collision,
+        # fewer than two runnable lanes, or a pool failure).
+        self.executor_fallbacks = 0
 
     # -- setup ----------------------------------------------------------------
 
@@ -156,7 +189,9 @@ class Network:
         reject the deployment on any mismatch.
         """
         address = _pad(address)
-        result = run_pipeline(source, address)
+        # Content-addressed: redeployments of an already-analysed
+        # source (and miner-side validations) skip the pipeline.
+        result = run_pipeline_cached(source, address)
         interpreter = Interpreter(result.module)
         state = interpreter.deploy(address, params, balance)
         signature = None
@@ -173,7 +208,7 @@ class Network:
             signature = result.signature(tuple(sorted(sharded_transitions)),
                                          weak_reads, allow_commutativity)
         deployed = DeployedContract(address, result.module, interpreter,
-                                    state, signature)
+                                    state, signature, source)
         self.contracts[address] = deployed
         self.dispatcher.register_contract(DeployedSignature(
             address, signature, dict(state.immutables)))
@@ -339,7 +374,26 @@ class Network:
                         if injector else {})
 
         # Phase 1: live shards execute in parallel lanes on the
-        # epoch-start state.
+        # epoch-start state.  Under a parallel executor the runnable
+        # lanes are executed concurrently in isolation (each against a
+        # private snapshot — repro.chain.lanes) and their results
+        # absorbed below in shard order, which reproduces the serial
+        # interleaving exactly; the serial executor runs each lane
+        # inline at its absorption point.
+        runnable = [s for s, q in queues.items()
+                    if s not in excluded and s not in mb_faults]
+        strategy = self._lane_strategy(runnable, queues)
+        lane_results: dict[int, LaneResult] = {}
+        if strategy != "serial":
+            parallel = run_lanes(self, [(s, queues[s]) for s in runnable],
+                                 shard_limit, strategy)
+            if parallel is None:
+                self.executor_fallbacks += 1  # pool failure: run serially
+            else:
+                lane_results = parallel
+        elif self.executor != "serial":
+            self.executor_fallbacks += 1
+
         microblocks: list[MicroBlock] = []
         shard_exec_times: list[float] = []
         all_deltas: dict[str, list[StateDelta]] = {}
@@ -357,20 +411,28 @@ class Network:
                     f"epoch {self.epoch}: shard {shard} MicroBlock "
                     f"missing past the consensus timeout ({fault})")
                 continue
-            mb, local_states, touched, lane_deferred = self._run_lane(
-                shard, queue, shard_limit)
-            lane_deltas: list[StateDelta] = []
-            lane_balance: dict[str, int] = {}
-            for addr, local in local_states.items():
-                base = self.contracts[addr].state
-                delta = compute_delta(addr, shard, base, local,
-                                      touched.get(addr, set()),
-                                      self.contracts[addr].joins)
-                if delta.entries:
-                    lane_deltas.append(delta)
-                # Native-token balance changes (accepts / payouts) are
-                # additive, so they merge like an IntMerge component.
-                lane_balance[addr] = local.balance - base.balance
+            lane_result = lane_results.get(shard)
+            if lane_result is not None:
+                mb = lane_result.microblock
+                lane_deltas = lane_result.deltas
+                lane_balance = lane_result.balance_deltas
+                lane_deferred = lane_result.deferred
+            else:
+                mb, local_states, touched, lane_deferred = self._run_lane(
+                    shard, queue, shard_limit)
+                lane_deltas = []
+                lane_balance = {}
+                for addr, local in local_states.items():
+                    base = self.contracts[addr].state
+                    delta = compute_delta(addr, shard, base, local,
+                                          touched.get(addr, set()),
+                                          self.contracts[addr].joins)
+                    if delta.entries:
+                        lane_deltas.append(delta)
+                    # Native-token balance changes (accepts / payouts)
+                    # are additive, so they merge like an IntMerge
+                    # component.
+                    lane_balance[addr] = local.balance - base.balance
             kind = delta_faults.get(shard)
             if kind is not None and injector is not None:
                 injector.tamper_deltas(self.epoch, shard, kind,
@@ -387,6 +449,11 @@ class Network:
                 for _, violation in violations:
                     fault_log.append(f"epoch {self.epoch}: {violation}")
                 continue
+            if lane_result is not None:
+                # An isolated lane's gas charges, credits and nonce
+                # commitments land here, in shard order — the same
+                # totals the serial loop produced by mutating in place.
+                lane_result.apply_effects(self)
             stats.deferred += len(lane_deferred)
             deferred.extend((shard, tx) for tx in lane_deferred)
             microblocks.append(mb)
@@ -437,6 +504,31 @@ class Network:
             return DeltaViolation(delta.contract, delta.shard, None,
                                   "unknown contract")
         return validate_delta(delta, contract, self.dispatcher)
+
+    def _lane_strategy(self, runnable: list[int],
+                       queues: dict[int, list[Transaction]]) -> str:
+        """Pick the executor for this epoch's shard phase.
+
+        Lane isolation is sound exactly when every decision a lane
+        makes is independent of its siblings.  Two situations break
+        that and force the serial loop: strict nonce mode (acceptance
+        reads a *global* high-water mark that other lanes advance),
+        and the same ``(sender, nonce)`` pair dispatched to two
+        different lanes (first-lane-wins replay detection depends on
+        execution order).  Both are detected up front, so the choice
+        is deterministic and made before any state changes.
+        """
+        if self.executor == "serial" or len(runnable) < 2:
+            return "serial"
+        if self.nonces.strict:
+            return "serial"
+        seen: dict[tuple[str, int], int] = {}
+        for shard in runnable:
+            for tx in queues[shard]:
+                key = (_pad(tx.sender), tx.nonce)
+                if seen.setdefault(key, shard) != shard:
+                    return "serial"
+        return self.executor
 
     # -- lane execution ------------------------------------------------------------
 

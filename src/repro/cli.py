@@ -8,7 +8,7 @@ Usage (also via ``python -m repro``):
     repro diagnose  <file|corpus:Name>              why sharding fails
     repro repair    <file|corpus:Name> [Transition] rewrite + print
     repro corpus                                    list corpus contracts
-    repro bench     fig1|fig12|fig13|fig14|table|overheads|ablation
+    repro bench     fig1|fig12|fig13|fig14|table|overheads|ablation|parallel
     repro chaos     [--seed N --epochs E]           fault-injection run
 """
 
@@ -157,6 +157,16 @@ def cmd_bench(args) -> int:
     elif target == "ablation":
         from .eval.ablation import format_ablation, run_ablation
         print(format_ablation(run_ablation()))
+    elif target == "parallel":
+        from .eval.analysis_perf import (
+            format_parallel_bench, run_parallel_bench, write_parallel_bench,
+        )
+        result = run_parallel_bench(workers=args.workers,
+                                    repetitions=args.repetitions)
+        print(format_parallel_bench(result))
+        out = args.output or "BENCH_parallel.json"
+        write_parallel_bench(result, out)
+        print(f"\nwrote {out}")
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {target}")
     return 0
@@ -216,10 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="regenerate a paper experiment")
     p.add_argument("experiment",
                    choices=["fig1", "fig12", "fig13", "fig14", "table",
-                            "overheads", "ablation", "all"])
+                            "overheads", "ablation", "parallel", "all"])
     p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for 'parallel' (default: CPUs)")
+    p.add_argument("--repetitions", type=int, default=1,
+                   help="timing repetitions for 'parallel'")
     p.add_argument("--output", default=None,
-                   help="write the report to this file (with 'all')")
+                   help="write the report to this file (with 'all' "
+                        "or 'parallel')")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

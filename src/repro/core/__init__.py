@@ -18,9 +18,12 @@ from .effects import (
     AcceptFunds, Condition, MsgInfo, Read, SendMsg, Summary, TopEffect,
     Write,
 )
+from .cache import ANALYSIS_VERSION, CacheStats, GLOBAL_CACHE, SummaryCache
 from .joins import JoinKind, MergeConflict
+from .parallel import CorpusAnalysis, analyze_corpus, default_workers
 from .pipeline import (
-    DeploymentResult, PipelineTimings, run_pipeline, validate_signature,
+    DeploymentResult, PipelineTimings, run_pipeline, run_pipeline_cached,
+    validate_signature,
 )
 from .signature import (
     ShardingSignature, StaleReadsRejected, WEAK_READS_AUTO,
@@ -38,9 +41,11 @@ __all__ = [
     "PseudoField",
     "AcceptFunds", "Condition", "MsgInfo", "Read", "SendMsg", "Summary",
     "TopEffect", "Write",
+    "ANALYSIS_VERSION", "CacheStats", "GLOBAL_CACHE", "SummaryCache",
     "JoinKind", "MergeConflict",
+    "CorpusAnalysis", "analyze_corpus", "default_workers",
     "DeploymentResult", "PipelineTimings", "run_pipeline",
-    "validate_signature",
+    "run_pipeline_cached", "validate_signature",
     "ShardingSignature", "StaleReadsRejected", "WEAK_READS_AUTO",
     "derive_signature", "is_commutative_write", "signature_for",
     "signatures_equal",

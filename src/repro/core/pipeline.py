@@ -14,6 +14,7 @@ from dataclasses import dataclass, field as dc_field
 from ..scilla.ast import Module
 from ..scilla.parser import parse_module
 from ..scilla.typechecker import typecheck_module
+from .cache import GLOBAL_CACHE, SummaryCache
 from .effects import Summary
 from .signature import (
     ShardingSignature, WEAK_READS_AUTO, signature_for, signatures_equal,
@@ -85,15 +86,34 @@ def run_pipeline(source: str, name: str = "<deploy>",
     )
 
 
+def run_pipeline_cached(source: str, name: str = "<deploy>",
+                        with_analysis: bool = True,
+                        cache: SummaryCache | None = None
+                        ) -> DeploymentResult:
+    """Cache-backed pipeline: the miner's hot path.
+
+    Identical sources resolve to the *same* :class:`DeploymentResult`
+    object (content-addressed by SHA-256 of the source plus the
+    analysis version), so repeat deployments and signature validations
+    skip parsing, type checking and the sharding analysis entirely.
+    Parse/type errors are not cached — they propagate as usual.
+    """
+    cache = GLOBAL_CACHE if cache is None else cache
+    return cache.get_or_compute(source, name, with_analysis)
+
+
 def validate_signature(source: str, proposed: ShardingSignature,
                        weak_reads=WEAK_READS_AUTO) -> bool:
     """Miner-side validation: recompute the signature and compare.
 
     The set of sharded transitions is recoverable from the proposed
     constraints (Sec. 4.3), so miners need to validate exactly one
-    signature rather than search the selection space.
+    signature rather than search the selection space.  The recomputed
+    pipeline result comes from the content-addressed summary cache —
+    a validator re-checking a known contract pays one hash, not a
+    re-analysis.
     """
-    result = run_pipeline(source)
+    result = run_pipeline_cached(source)
     if not set(proposed.selected) <= set(result.summaries):
         return False  # proposal names transitions the contract lacks
     recomputed = signature_for(result.contract_name, result.summaries,

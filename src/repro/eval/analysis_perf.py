@@ -4,13 +4,21 @@ Runs the deployment pipeline over the whole corpus, repeating each
 contract and averaging, exactly as the paper does (1000 repetitions on
 their machine; configurable here).  Reports per-stage microseconds and
 the analysis overhead relative to total deployment time.
+
+Also home to the *parallel analysis* benchmark (``repro bench
+parallel``): serial-vs-process-pool wall clock over the corpus plus
+SummaryCache hit rates, written to ``BENCH_parallel.json``.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field as dc_field
 
 from ..contracts import CORPUS
+from ..core.cache import ANALYSIS_VERSION, SummaryCache
+from ..core.parallel import analyze_corpus, default_workers
 from ..core.pipeline import run_pipeline
 
 
@@ -77,3 +85,128 @@ def format_fig12(result: Fig12Result) -> str:
         f"analysis adds {100 * result.analysis_overhead:.1f}% on top of "
         "parsing+typechecking (paper: ~46% of total)")
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Parallel analysis benchmark (serial vs process pool, plus caching).
+# --------------------------------------------------------------------------
+
+@dataclass
+class ParallelBenchResult:
+    """Serial-vs-parallel corpus analysis timings plus cache behaviour."""
+
+    workers: int
+    repetitions: int
+    n_contracts: int
+    serial_s: float
+    parallel_s: float
+    cache_hits: int
+    cache_misses: int
+    executor: str = "process"
+    fell_back: bool = False
+    analysis_version: str = ANALYSIS_VERSION
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_s / self.parallel_s if self.parallel_s else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_json_dict(self) -> dict:
+        """JSON payload; every field except the ``timing`` block is a
+        deterministic function of the corpus and configuration."""
+        return {
+            "benchmark": "parallel-analysis",
+            "analysis_version": self.analysis_version,
+            "executor": self.executor,
+            "workers": self.workers,
+            "repetitions": self.repetitions,
+            "n_contracts": self.n_contracts,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+            "fell_back": self.fell_back,
+            "timing": {
+                "serial_s": round(self.serial_s, 4),
+                "parallel_s": round(self.parallel_s, 4),
+                "speedup": round(self.speedup, 2),
+            },
+        }
+
+
+def run_parallel_bench(workers: int | None = None,
+                       repetitions: int = 1,
+                       contracts: dict[str, str] | None = None,
+                       executor: str = "process") -> ParallelBenchResult:
+    """Time corpus analysis serially and through the pool.
+
+    Both passes use a fresh private cache (no cross-talk with the
+    process-wide one), so the measured work is identical: every
+    contract is analysed from scratch ``repetitions`` times.  Cache
+    hit counts come from a third pass that replays the whole corpus
+    against the now-warm cache — the miner's steady state, where every
+    repeat deployment and signature validation is a hit.
+    """
+    contracts = contracts if contracts is not None else CORPUS
+
+    serial_s = 0.0
+    for _ in range(repetitions):
+        t0 = time.perf_counter()
+        for name, source in contracts.items():
+            run_pipeline(source, name)
+        serial_s += time.perf_counter() - t0
+
+    parallel_s = 0.0
+    fell_back = False
+    for _ in range(repetitions):
+        run = analyze_corpus(contracts, workers=workers, executor=executor,
+                             cache=SummaryCache())
+        parallel_s += run.wall_s
+        fell_back = fell_back or run.fell_back
+
+    warm = SummaryCache()
+    analyze_corpus(contracts, workers=workers, executor="serial", cache=warm)
+    replay = analyze_corpus(contracts, workers=workers, executor="serial",
+                            cache=warm)
+
+    return ParallelBenchResult(
+        workers=workers or default_workers(),
+        repetitions=repetitions,
+        n_contracts=len(contracts),
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        cache_hits=replay.cache_stats.hits,
+        cache_misses=replay.cache_stats.misses,
+        executor=executor,
+        fell_back=fell_back,
+    )
+
+
+def format_parallel_bench(result: ParallelBenchResult) -> str:
+    lines = [
+        f"Parallel analysis — {result.n_contracts} contracts, "
+        f"{result.workers} workers, {result.repetitions} repetition(s)",
+        "",
+        f"  serial     {result.serial_s:8.3f} s",
+        f"  {result.executor:10s} {result.parallel_s:8.3f} s   "
+        f"({result.speedup:.2f}x)",
+        "",
+        f"  warm-cache replay: {result.cache_hits} hits / "
+        f"{result.cache_misses} misses "
+        f"({100 * result.cache_hit_rate:.1f}% hit rate)",
+    ]
+    if result.fell_back:
+        lines.append("  (pool failure — parallel pass completed serially)")
+    return "\n".join(lines)
+
+
+def write_parallel_bench(result: ParallelBenchResult, path) -> None:
+    """Write ``BENCH_parallel.json`` (stable key order, trailing \\n)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_json_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

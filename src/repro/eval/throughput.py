@@ -67,14 +67,40 @@ class Fig14Result:
     txns_per_epoch: int
     cells: list[Fig14Cell] = dc_field(default_factory=list)
 
-    def tps(self, workload: str, config: str) -> float:
+    def __post_init__(self) -> None:
+        # (workload, config) index over the cells, so per-cell lookups
+        # are O(1) instead of a linear scan per call (format_fig14
+        # calls tps() for every table entry).  ``config_order``
+        # remembers first-seen config order, which series() preserves.
+        self._index: dict[tuple[str, str], Fig14Cell] = {}
+        self._config_order: list[str] = []
         for cell in self.cells:
-            if cell.workload == workload and cell.config == config:
-                return cell.tps
-        raise KeyError((workload, config))
+            self._note(cell)
+
+    def _note(self, cell: Fig14Cell) -> None:
+        self._index[(cell.workload, cell.config)] = cell
+        if cell.config not in self._config_order:
+            self._config_order.append(cell.config)
+
+    def add(self, cell: Fig14Cell) -> None:
+        self.cells.append(cell)
+        self._note(cell)
+
+    @property
+    def config_order(self) -> list[str]:
+        return list(self._config_order)
+
+    def tps(self, workload: str, config: str) -> float:
+        cell = self._index.get((workload, config))
+        if cell is None:
+            raise KeyError((workload, config))
+        return cell.tps
 
     def series(self, workload: str) -> list[float]:
-        return [c.tps for c in self.cells if c.workload == workload]
+        """TPS per config for one workload, in config insertion order."""
+        return [self._index[(workload, config)].tps
+                for config in self._config_order
+                if (workload, config) in self._index]
 
 
 def run_workload(workload: Workload, config: Config, epochs: int,
@@ -118,8 +144,7 @@ def run_fig14(epochs: int = 10, txns_per_epoch: int = 500,
                 kwargs["n_users"] = max(n_users,
                                         txns_per_epoch * epochs + 10)
             workload = cls(**kwargs)
-            result.cells.append(
-                run_workload(workload, config, epochs, cost_model))
+            result.add(run_workload(workload, config, epochs, cost_model))
     return result
 
 

@@ -18,13 +18,29 @@ from .types import MapType, ScillaType
 from .values import MapVal, Value
 
 
-# Sentinel for "entry was absent" in undo logs and write sets.
+# Sentinel for "entry was absent" in undo logs and write sets.  A true
+# singleton: equality holds for any two instances and unpickling
+# resolves to the canonical MISSING, so sentinels survive the process
+# boundary of the parallel lane executor.
 class _Missing:
     def __repr__(self) -> str:
         return "MISSING"
 
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Missing)
+
+    def __hash__(self) -> int:
+        return hash(_Missing)
+
+    def __reduce__(self):
+        return (_missing_singleton, ())
+
 
 MISSING = _Missing()
+
+
+def _missing_singleton() -> "_Missing":
+    return MISSING
 
 
 # A state location: a field name plus a (possibly empty) key path into

@@ -109,3 +109,18 @@ def test_corpus_export_roundtrips(tmp_path, capsys):
                         str(tmp_path / "HelloWorld.scilla"))
     assert code == 0
     assert "Summary(SetHello)" in out
+
+
+def test_bench_parallel_writes_json(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "BENCH_parallel.json"
+    code, out = run_cli(capsys, "bench", "parallel",
+                        "--workers", "2", "--repetitions", "1",
+                        "--output", str(out_file))
+    assert code == 0
+    assert "Parallel analysis" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["benchmark"] == "parallel-analysis"
+    assert payload["workers"] == 2
+    assert payload["cache"]["hit_rate"] == 0.5

@@ -130,3 +130,33 @@ def test_full_report_selected_sections(tmp_path):
     assert out.read_text().strip() == text.strip()
     # Sections not requested are absent.
     assert "Fig. 14" not in text
+
+
+def test_fig14_index_and_series_preserve_config_order():
+    """The (workload, config) index must behave exactly like the old
+    linear scans: KeyError on unknown pairs, and series() returning
+    one TPS per config in config *insertion* order."""
+    from repro.eval.throughput import Fig14Cell, Fig14Result
+
+    result = Fig14Result(epochs=1, txns_per_epoch=10)
+    # Deliberately non-alphabetical config order, two workloads.
+    for config, tps in (("zeta", 1.0), ("alpha", 2.0), ("mid", 3.0)):
+        result.add(Fig14Cell("W1", config, tps, 1, 1, 0.0))
+        result.add(Fig14Cell("W2", config, tps * 10, 1, 1, 0.0))
+
+    assert result.config_order == ["zeta", "alpha", "mid"]
+    assert result.series("W1") == [1.0, 2.0, 3.0]
+    assert result.series("W2") == [10.0, 20.0, 30.0]
+    assert result.tps("W1", "mid") == 3.0
+    with pytest.raises(KeyError):
+        result.tps("W1", "nope")
+    with pytest.raises(KeyError):
+        result.tps("nope", "alpha")
+    # A workload missing one config skips it without misaligning.
+    result.add(Fig14Cell("W3", "alpha", 7.0, 1, 1, 0.0))
+    assert result.series("W3") == [7.0]
+
+    # Cells passed to the constructor are indexed too.
+    rebuilt = Fig14Result(epochs=1, txns_per_epoch=10, cells=result.cells)
+    assert rebuilt.series("W1") == [1.0, 2.0, 3.0]
+    assert rebuilt.config_order == result.config_order

@@ -1,6 +1,8 @@
 """Parser robustness: arbitrary input must raise clean errors, never
 crash, and valid modules must survive whitespace/comment mutations."""
 
+import random
+
 import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
@@ -9,6 +11,19 @@ from repro.contracts import CORPUS
 from repro.scilla.errors import LexError, ParseError
 from repro.scilla.lexer import tokenize
 from repro.scilla.parser import parse_expression, parse_module
+
+
+def mutate_one_char(source: str, seed: int) -> str:
+    """Deterministically replace exactly one character of ``source``.
+
+    Shared with ``tests/test_summary_cache.py``, where a one-character
+    mutation must change the cache's content address.
+    """
+    rng = random.Random(seed)
+    i = rng.randrange(len(source))
+    alphabet = "abcxyzXYZ01239_;()="
+    replacement = rng.choice([c for c in alphabet if c != source[i]])
+    return source[:i] + replacement + source[i + 1:]
 
 
 @settings(max_examples=200, deadline=None)
@@ -73,6 +88,17 @@ def test_whitespace_collapse_is_neutral():
     mutated = parse_module(squeezed)
     assert [t.name for t in original.contract.transitions] == \
         [t.name for t in mutated.contract.transitions]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_parser_total_over_mutated_corpus(seed):
+    """One-character corruption of a real contract never crashes the
+    frontend — it parses, or raises a clean Lex/ParseError."""
+    mutated = mutate_one_char(CORPUS["FungibleToken"], seed)
+    try:
+        parse_module(mutated)
+    except (ParseError, LexError):
+        pass
 
 
 def test_error_messages_carry_locations():
