@@ -23,11 +23,19 @@ from .network import (
     Network,
 )
 from .recovery import (
-    DeltaViolation, NetworkCheckpoint, network_fingerprint,
-    state_fingerprint, validate_delta,
+    DeltaViolation, NetworkCheckpoint, fingerprint_digest,
+    network_fingerprint, state_fingerprint, validate_delta,
+)
+from .store import (
+    SnapshotError, SnapshotStore, network_from_snapshot,
+    snapshot_network,
 )
 from .transaction import (
     Account, NonceTracker, Transaction, call, payment,
+)
+from .wal import (
+    FSYNC_POLICIES, WALCorruption, WALError, WALRecord, WriteAheadLog,
+    read_wal,
 )
 
 __all__ = [
@@ -41,7 +49,11 @@ __all__ = [
     "LookupNode", "TxPacket", "packets_to_epoch",
     "BacklogEntry", "DeployedContract", "EpochStats",
     "EXECUTOR_STRATEGIES", "Network",
-    "DeltaViolation", "NetworkCheckpoint", "network_fingerprint",
-    "state_fingerprint", "validate_delta",
+    "DeltaViolation", "NetworkCheckpoint", "fingerprint_digest",
+    "network_fingerprint", "state_fingerprint", "validate_delta",
+    "SnapshotError", "SnapshotStore", "network_from_snapshot",
+    "snapshot_network",
     "Account", "NonceTracker", "Transaction", "call", "payment",
+    "FSYNC_POLICIES", "WALCorruption", "WALError", "WALRecord",
+    "WriteAheadLog", "read_wal",
 ]

@@ -156,6 +156,23 @@ class FaultPlan:
                     events.append(FaultEvent(epoch, kind))
         return cls(events, seed=seed)
 
+    # -- wire format (the WAL's init record persists the plan) -----------------
+
+    def to_obj(self):
+        """JSON-able form; together with the seed this reconstructs
+        the plan exactly, including explicitly-built ones."""
+        return {
+            "seed": self.seed,
+            "events": [{"epoch": e.epoch, "kind": e.kind.value,
+                        "shard": e.shard} for e in self.events],
+        }
+
+    @classmethod
+    def from_obj(cls, data) -> "FaultPlan":
+        return cls([FaultEvent(e["epoch"], FaultKind(e["kind"]),
+                               e["shard"]) for e in data["events"]],
+                   seed=data["seed"])
+
     # -- queries ---------------------------------------------------------------
 
     def events_for(self, epoch: int) -> list[FaultEvent]:

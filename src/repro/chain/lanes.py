@@ -302,7 +302,9 @@ def run_lanes(net, lanes: list[tuple[int, list[Transaction]]],
                 else shared_process_pool(net.lane_workers))
         results = list(pool.map(run_lane_task, tasks))
         return {r.lane: r for r in results}
-    except Exception:
+    except Exception as exc:
         if strategy == "process":
             reset_process_pool()
+        net.executor_fallback_details.append(
+            f"{strategy}: {type(exc).__name__}: {exc!r}")
         return None

@@ -16,7 +16,7 @@ to it; the FinalBlock's state becomes the next epoch's start state.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field as dc_field
+from dataclasses import asdict, dataclass, field as dc_field
 
 from ..core.joins import JoinKind
 from ..core.pipeline import run_pipeline_cached
@@ -32,8 +32,15 @@ from .delta import StateDelta, compute_delta, merge_deltas
 from .dispatch import DS, DeployedSignature, Dispatcher, _pad
 from .faults import FaultInjector, FaultPlan
 from .lanes import LaneResult, run_lanes
-from .recovery import DeltaViolation, NetworkCheckpoint, validate_delta
+from .recovery import (
+    DeltaViolation, NetworkCheckpoint, fingerprint_digest, validate_delta,
+)
+from .serialization import (
+    signature_from_obj, signature_to_obj, transaction_from_obj,
+    transaction_to_obj, value_from_json, value_to_json,
+)
 from .transaction import Account, NonceTracker, Transaction
+from .wal import WALError, WriteAheadLog
 
 PAYMENT_GAS = 50
 
@@ -116,7 +123,13 @@ class Network:
                  max_retries: int = 16,
                  retry_backoff: float = 1.0,
                  executor: str | None = None,
-                 lane_workers: int | None = None):
+                 lane_workers: int | None = None,
+                 data_dir: str | None = None,
+                 fsync: str = "commit",
+                 snapshot_every: int = 8,
+                 keep_snapshots: int = 3,
+                 crash_at_barrier: int | None = None,
+                 crash_at_append: int | None = None):
         self.n_shards = n_shards
         self.shard_size = shard_size
         self.ds_size = ds_size
@@ -157,10 +170,45 @@ class Network:
         # ran serially (strict nonces, cross-lane nonce collision,
         # fewer than two runnable lanes, or a pool failure).
         self.executor_fallbacks = 0
+        # One "<strategy>: <ExcType>: <repr>" entry per pool failure,
+        # so a silent serial fallback stays observable after the fact.
+        self.executor_fallback_details: list[str] = []
+        # How many epochs committed under each caller-supplied WAL tag
+        # (the durable harness uses this to fast-forward generators).
+        self.epoch_tags: dict[str, int] = {}
+        # Free-form durable annotations (repro.eval.chaos marks setup
+        # completion here); replicated into snapshots and the WAL.
+        self.wal_notes: list = []
+        # Durability (repro.chain.wal / repro.chain.store).  Off by
+        # default: with data_dir=None nothing below ever touches disk.
+        self.wal: WriteAheadLog | None = None
+        self.store = None
+        self.snapshot_every = snapshot_every
+        self._replaying = False
+        self._commits_since_snapshot = 0
+        if data_dir is not None:
+            from .store import SnapshotStore
+            wal = WriteAheadLog(data_dir, fsync=fsync,
+                                crash_at_barrier=crash_at_barrier,
+                                crash_at_append=crash_at_append)
+            store = SnapshotStore(data_dir, keep=keep_snapshots)
+            if wal.recovered or store.paths():
+                wal.close()
+                raise WALError(
+                    f"{data_dir} already holds a log or snapshots; "
+                    f"use Network.resume to continue it")
+            self.wal = wal
+            self.store = store
+            self._wal_append("init", self._config_obj(), barrier=True)
 
     # -- setup ----------------------------------------------------------------
 
     def create_account(self, address: str, balance: int = 10**12) -> Account:
+        self._wal_append("account", {"address": address,
+                                     "balance": balance})
+        return self._create_account(address, balance)
+
+    def _create_account(self, address: str, balance: int) -> Account:
         address = _pad(address)
         account = Account(address, balance)
         account.split_across(self.n_shards, self.dispatcher.home_shard(address))
@@ -170,7 +218,9 @@ class Network:
     def _account(self, address: str) -> Account:
         address = _pad(address)
         if address not in self.accounts:
-            return self.create_account(address, balance=0)
+            # Lazily-created zero-balance accounts are a deterministic
+            # consequence of execution; they are not WAL inputs.
+            return self._create_account(address, balance=0)
         return self.accounts[address]
 
     def deploy(self, source: str, address: str,
@@ -188,6 +238,20 @@ class Network:
         contract (Sec. 4.3): miners re-derive it from the source and
         reject the deployment on any mismatch.
         """
+        self._wal_append("deploy", {
+            "source": source, "address": address,
+            "params": {k: value_to_json(v) for k, v in params.items()},
+            "sharded_transitions": (list(sharded_transitions)
+                                    if sharded_transitions is not None
+                                    else None),
+            "weak_reads": (weak_reads if isinstance(weak_reads, str)
+                           else sorted(weak_reads)),
+            "balance": balance,
+            "allow_commutativity": allow_commutativity,
+            "proposed_signature": (signature_to_obj(proposed_signature)
+                                   if proposed_signature is not None
+                                   else None),
+        }, barrier=True)
         address = _pad(address)
         # Content-addressed: redeployments of an already-analysed
         # source (and miner-side validations) skip the pipeline.
@@ -214,10 +278,177 @@ class Network:
             address, signature, dict(state.immutables)))
         return deployed
 
+    # -- durability (WAL + snapshots + resume) -----------------------------------
+
+    def _wal_append(self, type: str, data, barrier: bool = False) -> None:
+        if self.wal is None or self._replaying:
+            return
+        self.wal.append(type, data)
+        if barrier:
+            self.wal.barrier()
+
+    def wal_note(self, data) -> None:
+        """Record a durable, application-level annotation (replayed on
+        resume and carried through snapshots)."""
+        self.wal_notes.append(data)
+        self._wal_append("note", data, barrier=True)
+
+    def snapshot(self) -> None:
+        """Persist a durable snapshot now, rotate the WAL, and drop
+        segments and snapshots the retention policy no longer needs."""
+        if self.wal is None or self.store is None:
+            return
+        from .store import snapshot_network
+        obj = snapshot_network(self, wal_seq=self.wal.last_seq)
+        self.store.save(obj)
+        self.wal.rotate()
+        self.wal.compact(keep_from_seq=obj["wal_seq"] + 1)
+        self.store.compact()
+        self._commits_since_snapshot = 0
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+    def _config_obj(self):
+        """The construction-time configuration, as logged in the WAL
+        init record and embedded in snapshots.  Executor strategy and
+        worker count are runtime choices, not configuration — resume
+        may pick different ones without affecting replay."""
+        return {
+            "n_shards": self.n_shards,
+            "shard_size": self.shard_size,
+            "ds_size": self.ds_size,
+            "use_signatures": self.use_signatures,
+            "cost_model": asdict(self.cost),
+            "strict_nonces": self.nonces.strict,
+            "overflow_guard": self.overflow_guard,
+            "carry_backlog": self.carry_backlog,
+            "fault_plan": (self.injector.plan.to_obj()
+                           if self.injector is not None else None),
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+        }
+
+    @classmethod
+    def _from_config(cls, config, executor: str | None = None,
+                     lane_workers: int | None = None) -> "Network":
+        return cls(
+            n_shards=config["n_shards"],
+            shard_size=config["shard_size"],
+            ds_size=config["ds_size"],
+            use_signatures=config["use_signatures"],
+            cost_model=CostModel(**config["cost_model"]),
+            strict_nonces=config["strict_nonces"],
+            overflow_guard=config["overflow_guard"],
+            carry_backlog=config["carry_backlog"],
+            fault_plan=(FaultPlan.from_obj(config["fault_plan"])
+                        if config["fault_plan"] is not None else None),
+            max_retries=config["max_retries"],
+            retry_backoff=config["retry_backoff"],
+            executor=executor,
+            lane_workers=lane_workers,
+        )
+
+    @classmethod
+    def resume(cls, data_dir: str, executor: str | None = None,
+               lane_workers: int | None = None, fsync: str = "commit",
+               snapshot_every: int = 8, keep_snapshots: int = 3,
+               crash_at_barrier: int | None = None,
+               crash_at_append: int | None = None) -> "Network":
+        """Recover a network from ``data_dir`` after a crash or clean
+        shutdown.
+
+        Opens the WAL (validating every record and physically
+        truncating a torn tail), loads the newest snapshot whose digest
+        verifies, deterministically re-executes the logged records past
+        it, and re-attaches durability so the returned network keeps
+        logging where the dead process stopped.
+        """
+        from .store import SnapshotStore, network_from_snapshot
+        wal = WriteAheadLog(data_dir, fsync=fsync,
+                            crash_at_barrier=crash_at_barrier,
+                            crash_at_append=crash_at_append)
+        try:
+            store = SnapshotStore(data_dir, keep=keep_snapshots)
+            snap = store.load_newest()
+            if snap is not None:
+                net = network_from_snapshot(snap, executor=executor,
+                                            lane_workers=lane_workers)
+                start_seq = snap["wal_seq"]
+            else:
+                if not wal.recovered or wal.recovered[0].type != "init":
+                    raise WALError(
+                        f"nothing to resume in {data_dir}: no valid "
+                        f"snapshot and no init record")
+                net = cls._from_config(wal.recovered[0].data,
+                                       executor=executor,
+                                       lane_workers=lane_workers)
+                start_seq = wal.recovered[0].seq
+            net._replaying = True
+            try:
+                for record in wal.recovered:
+                    if record.seq > start_seq:
+                        net._replay_record(record)
+            finally:
+                net._replaying = False
+        except BaseException:
+            wal.close()
+            raise
+        net.wal = wal
+        net.store = store
+        net.snapshot_every = snapshot_every
+        return net
+
+    def _replay_record(self, record) -> None:
+        data = record.data
+        if record.type == "account":
+            self._create_account(data["address"], data["balance"])
+        elif record.type == "deploy":
+            weak_reads = data["weak_reads"]
+            self.deploy(
+                data["source"], data["address"],
+                params={k: value_from_json(v)
+                        for k, v in data["params"].items()},
+                sharded_transitions=(
+                    tuple(data["sharded_transitions"])
+                    if data["sharded_transitions"] is not None else None),
+                weak_reads=(weak_reads if isinstance(weak_reads, str)
+                            else frozenset(weak_reads)),
+                balance=data["balance"],
+                allow_commutativity=data["allow_commutativity"],
+                proposed_signature=(
+                    signature_from_obj(data["proposed_signature"])
+                    if data["proposed_signature"] is not None else None))
+        elif record.type == "epoch":
+            if data["epoch"] != self.epoch + 1:
+                raise WALError(
+                    f"replay out of step: log record {record.seq} is "
+                    f"epoch {data['epoch']} but the network is at "
+                    f"epoch {self.epoch}")
+            self.process_epoch(
+                [transaction_from_obj(tx) for tx in data["txns"]],
+                unlimited=data["unlimited"], wal_tag=data["tag"])
+        elif record.type == "commit":
+            digest = fingerprint_digest(self)
+            if digest != data["digest"]:
+                raise WALError(
+                    f"replay diverged at epoch {data['epoch']}: "
+                    f"recomputed fingerprint {digest[:12]}… does not "
+                    f"match the logged commit {data['digest'][:12]}…")
+        elif record.type == "note":
+            self.wal_notes.append(data)
+        elif record.type == "init":
+            raise WALError(
+                f"unexpected init record at sequence {record.seq}")
+        else:
+            raise WALError(f"unknown WAL record type {record.type!r}")
+
     # -- epoch processing --------------------------------------------------------
 
     def process_epoch(self, txns: list[Transaction],
-                      unlimited: bool = False) -> FinalBlock:
+                      unlimited: bool = False,
+                      wal_tag: str = "epoch") -> FinalBlock:
         """Process one epoch; ``unlimited`` lifts the per-lane gas
         limits (used for setup epochs that must commit everything).
 
@@ -228,7 +459,19 @@ class Network:
         attempt back to the epoch-start checkpoint, excludes the lane,
         and retries; the excluded lane's queue is re-executed on the DS
         lane against the merged state (view change).
+
+        Under durability (``data_dir``) the submitted transactions are
+        logged and fsynced *before* execution, so a crash at any later
+        point replays this epoch from its durable inputs; ``wal_tag``
+        labels the epoch in the log (counted in ``epoch_tags``).
         """
+        # The WAL barrier here is the durability point of the epoch:
+        # once it returns, the epoch's inputs survive any crash.
+        self._wal_append("epoch", {
+            "epoch": self.epoch + 1, "unlimited": unlimited,
+            "tag": wal_tag,
+            "txns": [transaction_to_obj(tx) for tx in txns],
+        }, barrier=True)
         self.epoch += 1
         shard_limit = 10**15 if unlimited else self.cost.shard_gas_limit
         ds_limit = 10**15 if unlimited else self.cost.ds_gas_limit
@@ -331,6 +574,18 @@ class Network:
             timeouts=len(excluded),
         )
         self.blocks.append(block)
+        self.epoch_tags[wal_tag] = self.epoch_tags.get(wal_tag, 0) + 1
+        # The commit record pins the post-epoch fingerprint so replay
+        # can detect divergence instead of silently continuing from a
+        # wrong state.
+        self._wal_append("commit", {
+            "epoch": self.epoch,
+            "digest": fingerprint_digest(self),
+        }, barrier=True)
+        if self.wal is not None and not self._replaying:
+            self._commits_since_snapshot += 1
+            if self._commits_since_snapshot >= self.snapshot_every:
+                self.snapshot()
         return block
 
     def _attempt_epoch(self, incoming: list[Transaction],

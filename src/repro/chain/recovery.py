@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 
 from ..core.domain import PseudoField
 from ..core.joins import JoinKind
@@ -136,6 +136,11 @@ class NetworkCheckpoint:
     nonce_last_global: dict[str, int]
     nonce_last_per_lane: dict[tuple[str, int], int]
     backlog: list
+    # An aborted attempt must not leak dead-lettered transactions or
+    # inflated executor counters into the committed epoch.
+    dead_letter: list = dc_field(default_factory=list)
+    executor_fallbacks: int = 0
+    executor_fallback_details: list = dc_field(default_factory=list)
 
     @classmethod
     def take(cls, net) -> "NetworkCheckpoint":
@@ -149,6 +154,9 @@ class NetworkCheckpoint:
             nonce_last_global=dict(net.nonces.last_global),
             nonce_last_per_lane=dict(net.nonces.last_per_lane),
             backlog=list(net.backlog),
+            dead_letter=list(net.dead_letter),
+            executor_fallbacks=net.executor_fallbacks,
+            executor_fallback_details=list(net.executor_fallback_details),
         )
 
     def restore(self, net) -> None:
@@ -167,6 +175,10 @@ class NetworkCheckpoint:
         net.nonces.last_global = dict(self.nonce_last_global)
         net.nonces.last_per_lane = dict(self.nonce_last_per_lane)
         net.backlog = list(self.backlog)
+        net.dead_letter = list(self.dead_letter)
+        net.executor_fallbacks = self.executor_fallbacks
+        net.executor_fallback_details = \
+            list(self.executor_fallback_details)
 
 
 # --------------------------------------------------------------------------
@@ -201,3 +213,11 @@ def network_fingerprint(net) -> dict[str, str]:
     """Fingerprints of every deployed contract, sorted by address."""
     return {addr: state_fingerprint(net.contracts[addr].state)
             for addr in sorted(net.contracts)}
+
+
+def fingerprint_digest(net) -> str:
+    """One hash over the whole network fingerprint, compact enough to
+    embed in WAL commit records; replay verifies it after re-executing
+    each epoch."""
+    blob = json.dumps(network_fingerprint(net), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()

@@ -21,7 +21,7 @@ from ..core.domain import ConstKey, Key, ParamKey, PseudoField
 from ..core.joins import JoinKind
 from ..core.signature import ShardingSignature
 from ..scilla.errors import EvalError
-from ..scilla.state import MISSING, StateKey, _Missing
+from ..scilla.state import MISSING, ContractState, StateKey, _Missing
 from ..scilla import types as ty
 from ..scilla.values import (
     ADTVal, BNumVal, ByStrVal, IntVal, MapVal, StringVal, Value,
@@ -126,22 +126,73 @@ def delta_from_json(text: str) -> StateDelta:
 # Transactions (the lookup-node packets of Fig. 10).
 # --------------------------------------------------------------------------
 
-def transaction_to_json(tx: Transaction) -> str:
-    return json.dumps({
+def transaction_to_obj(tx: Transaction) -> Any:
+    """JSON-able form of a transaction.
+
+    The ``id`` field preserves ``tx_id`` across the process boundary:
+    WAL replay must re-execute the *same* transactions, and the
+    default dispatch strategy routes unconstrained calls by
+    ``tx_id % n_shards``.
+    """
+    return {
         "sender": tx.sender, "to": tx.to, "nonce": tx.nonce,
         "amount": tx.amount, "gas_limit": tx.gas_limit,
         "gas_price": tx.gas_price, "transition": tx.transition,
         "args": [[k, value_to_json(v)] for k, v in tx.args],
-    })
+        "id": tx.tx_id,
+    }
 
 
-def transaction_from_json(text: str) -> Transaction:
-    data = json.loads(text)
+def transaction_from_obj(data: Any) -> Transaction:
+    kwargs = {}
+    if data.get("id") is not None:
+        kwargs["tx_id"] = data["id"]
     return Transaction(
         sender=data["sender"], to=data["to"], nonce=data["nonce"],
         amount=data["amount"], gas_limit=data["gas_limit"],
         gas_price=data["gas_price"], transition=data["transition"],
-        args=tuple((k, value_from_json(v)) for k, v in data["args"]))
+        args=tuple((k, value_from_json(v)) for k, v in data["args"]),
+        **kwargs)
+
+
+def transaction_to_json(tx: Transaction) -> str:
+    return json.dumps(transaction_to_obj(tx))
+
+
+def transaction_from_json(text: str) -> Transaction:
+    return transaction_from_obj(json.loads(text))
+
+
+# --------------------------------------------------------------------------
+# Contract states (the payload of durable snapshots).
+# --------------------------------------------------------------------------
+
+def state_to_obj(state: ContractState) -> Any:
+    """JSON-able form of a full contract state (snapshot format)."""
+    return {
+        "address": state.address,
+        "balance": state.balance,
+        "fields": {name: value_to_json(value)
+                   for name, value in state.fields.items()},
+        "field_types": {name: str(typ)
+                        for name, typ in state.field_types.items()},
+        "immutables": {name: value_to_json(value)
+                       for name, value in state.immutables.items()},
+    }
+
+
+def state_from_obj(data: Any) -> ContractState:
+    from ..scilla.parser import parse_type_str
+    return ContractState(
+        address=data["address"],
+        fields={name: value_from_json(v)
+                for name, v in data["fields"].items()},
+        field_types={name: parse_type_str(s)
+                     for name, s in data["field_types"].items()},
+        immutables={name: value_from_json(v)
+                    for name, v in data["immutables"].items()},
+        balance=data["balance"],
+    )
 
 
 # --------------------------------------------------------------------------
@@ -199,8 +250,8 @@ def _constraint_from_json(data: Any) -> Constraint:
     return Bot(data["reason"])
 
 
-def signature_to_json(sig: ShardingSignature) -> str:
-    return json.dumps({
+def signature_to_obj(sig: ShardingSignature) -> Any:
+    return {
         "contract": sig.contract,
         "selected": list(sig.selected),
         "constraints": {
@@ -209,11 +260,10 @@ def signature_to_json(sig: ShardingSignature) -> str:
         },
         "joins": {f: j.value for f, j in sig.joins.items()},
         "weak_reads": sorted(sig.weak_reads),
-    })
+    }
 
 
-def signature_from_json(text: str) -> ShardingSignature:
-    data = json.loads(text)
+def signature_from_obj(data: Any) -> ShardingSignature:
     return ShardingSignature(
         contract=data["contract"],
         selected=tuple(data["selected"]),
@@ -224,3 +274,11 @@ def signature_from_json(text: str) -> ShardingSignature:
         joins={f: JoinKind(j) for f, j in data["joins"].items()},
         weak_reads=frozenset(data["weak_reads"]),
     )
+
+
+def signature_to_json(sig: ShardingSignature) -> str:
+    return json.dumps(signature_to_obj(sig))
+
+
+def signature_from_json(text: str) -> ShardingSignature:
+    return signature_from_obj(json.loads(text))

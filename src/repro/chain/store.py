@@ -1,0 +1,230 @@
+"""Durable epoch snapshots for the sharded network simulator.
+
+A snapshot is a *self-contained* JSON image of everything a
+:class:`~repro.chain.network.Network` can mutate — contract states,
+account balance partitions, the nonce tracker, the retry backlog and
+dead-letter list, the fault injector's counters, and the network's
+own configuration (including the fault plan) — pinned to the WAL
+sequence number it covers.  ``Network.resume`` loads the newest valid
+snapshot and deterministically re-executes only the WAL records past
+it, so snapshots bound replay time and let
+:meth:`~repro.chain.wal.WriteAheadLog.compact` drop old segments.
+
+Snapshots are written atomically: the JSON body (with an embedded
+SHA-256 digest) goes to a temporary file that is fsynced and then
+``os.replace``d into place, so a crash can never leave a
+half-written snapshot visible — a reader either sees the old set of
+snapshots or the new one.  Retention keeps the newest ``keep``
+snapshots; loading walks newest-to-oldest and skips any file whose
+digest does not verify.
+
+What is *not* in a snapshot: the block history (``Network.blocks``)
+and per-epoch fault logs — they are outputs, not inputs, and resuming
+restarts them empty — and live runtime caches, which are rebuilt on
+demand from contract sources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .serialization import (
+    signature_from_obj, signature_to_obj, state_from_obj, state_to_obj,
+    transaction_from_obj, transaction_to_obj,
+)
+
+SNAPSHOT_VERSION = 1
+SNAPSHOT_PREFIX = "snap-"
+SNAPSHOT_SUFFIX = ".json"
+
+
+class SnapshotError(Exception):
+    """No usable snapshot / snapshot machinery failure."""
+
+
+# --------------------------------------------------------------------------
+# Network <-> snapshot object.
+# --------------------------------------------------------------------------
+
+def snapshot_network(net, wal_seq: int) -> Any:
+    """Capture the network's full mutable state as a JSON-able object."""
+    obj: dict[str, Any] = {
+        "version": SNAPSHOT_VERSION,
+        "epoch": net.epoch,
+        "wal_seq": wal_seq,
+        "config": net._config_obj(),
+        "contracts": {
+            addr: {
+                "source": c.source,
+                "state": state_to_obj(c.state),
+                "signature": (signature_to_obj(c.signature)
+                              if c.signature is not None else None),
+            }
+            for addr, c in net.contracts.items()
+        },
+        "accounts": {
+            addr: [acc.balance,
+                   {str(shard): amount
+                    for shard, amount in acc.shard_portions.items()}]
+            for addr, acc in net.accounts.items()
+        },
+        "nonces": {
+            "used": {s: sorted(v) for s, v in net.nonces.used.items()},
+            "last_global": dict(net.nonces.last_global),
+            "last_per_lane": [[s, lane, v] for (s, lane), v
+                              in net.nonces.last_per_lane.items()],
+        },
+        "backlog": [[transaction_to_obj(e.tx), e.retries, e.not_before]
+                    for e in net.backlog],
+        "dead_letter": [transaction_to_obj(tx) for tx in net.dead_letter],
+        "counters": {
+            "executor_fallbacks": net.executor_fallbacks,
+            "epoch_tags": dict(net.epoch_tags),
+        },
+        "executor_fallback_details": list(net.executor_fallback_details),
+        "notes": list(net.wal_notes),
+    }
+    if net.injector is not None:
+        obj["injector"] = {
+            "injected": net.injector.injected,
+            "skipped": net.injector.skipped,
+            "dropped": [transaction_to_obj(tx)
+                        for tx in net.injector.dropped],
+        }
+    return obj
+
+
+def network_from_snapshot(obj: Any, executor: str | None = None,
+                          lane_workers: int | None = None):
+    """Rebuild a live (non-durable) Network from a snapshot object.
+
+    Contract runtimes are rebuilt from source through the cached
+    deployment pipeline; everything else is restored verbatim.  The
+    caller (``Network.resume``) attaches durability afterwards.
+    """
+    from ..core.pipeline import run_pipeline_cached
+    from ..scilla.interpreter import Interpreter
+    from .dispatch import DeployedSignature
+    from .network import BacklogEntry, DeployedContract, Network
+
+    if obj.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {obj.get('version')!r}")
+    net = Network._from_config(obj["config"], executor=executor,
+                               lane_workers=lane_workers)
+    net.epoch = obj["epoch"]
+    for addr, payload in obj["contracts"].items():
+        result = run_pipeline_cached(payload["source"], addr)
+        state = state_from_obj(payload["state"])
+        signature = (signature_from_obj(payload["signature"])
+                     if payload["signature"] is not None else None)
+        net.contracts[addr] = DeployedContract(
+            addr, result.module, Interpreter(result.module), state,
+            signature, payload["source"])
+        net.dispatcher.register_contract(DeployedSignature(
+            addr, signature, dict(state.immutables)))
+    from .transaction import Account
+    net.accounts = {
+        addr: Account(addr, balance,
+                      {int(shard): amount
+                       for shard, amount in portions.items()})
+        for addr, (balance, portions) in obj["accounts"].items()}
+    nonces = obj["nonces"]
+    net.nonces.used = {s: set(v) for s, v in nonces["used"].items()}
+    net.nonces.last_global = dict(nonces["last_global"])
+    net.nonces.last_per_lane = {(s, lane): v for s, lane, v
+                                in nonces["last_per_lane"]}
+    net.backlog = [BacklogEntry(transaction_from_obj(tx), retries,
+                                not_before)
+                   for tx, retries, not_before in obj["backlog"]]
+    net.dead_letter = [transaction_from_obj(tx)
+                       for tx in obj["dead_letter"]]
+    net.executor_fallbacks = obj["counters"]["executor_fallbacks"]
+    net.epoch_tags = dict(obj["counters"]["epoch_tags"])
+    net.executor_fallback_details = list(obj["executor_fallback_details"])
+    net.wal_notes = list(obj["notes"])
+    injector_obj = obj.get("injector")
+    if injector_obj is not None and net.injector is not None:
+        net.injector.injected = injector_obj["injected"]
+        net.injector.skipped = injector_obj["skipped"]
+        net.injector.dropped = [transaction_from_obj(tx)
+                                for tx in injector_obj["dropped"]]
+    return net
+
+
+# --------------------------------------------------------------------------
+# Durable storage (atomic writes, digest validation, retention).
+# --------------------------------------------------------------------------
+
+def _digest(obj: Any) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True).encode()).hexdigest()
+
+
+class SnapshotStore:
+    """Durable, atomically-written, digest-checked epoch snapshots."""
+
+    def __init__(self, data_dir: str | os.PathLike, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.dir = Path(data_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    def _path(self, epoch: int, wal_seq: int) -> Path:
+        return self.dir / (f"{SNAPSHOT_PREFIX}{epoch:010d}-"
+                           f"{wal_seq:010d}{SNAPSHOT_SUFFIX}")
+
+    def paths(self) -> list[Path]:
+        """Snapshot files, oldest first (temp files excluded)."""
+        return sorted(p for p in self.dir.iterdir()
+                      if p.name.startswith(SNAPSHOT_PREFIX)
+                      and p.name.endswith(SNAPSHOT_SUFFIX))
+
+    def save(self, obj: Any) -> Path:
+        """Atomically persist one snapshot object (write-temp, fsync,
+        rename, fsync directory)."""
+        target = self._path(obj["epoch"], obj["wal_seq"])
+        body = json.dumps({"digest": _digest(obj), "snapshot": obj})
+        tmp = target.with_name(target.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        fd = os.open(self.dir, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return target
+
+    def load_newest(self) -> Any | None:
+        """The newest snapshot whose digest verifies, or ``None``.
+
+        Unreadable or tampered snapshot files are skipped (older
+        snapshots plus a longer WAL replay still recover the state).
+        """
+        for path in reversed(self.paths()):
+            try:
+                body = json.loads(path.read_text(encoding="utf-8"))
+                obj = body["snapshot"]
+                if body["digest"] == _digest(obj):
+                    return obj
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return None
+
+    def compact(self) -> list[str]:
+        """Drop all but the newest ``keep`` snapshots; returns the
+        deleted file names."""
+        paths = self.paths()
+        deleted = []
+        for path in paths[:-self.keep] if len(paths) > self.keep else []:
+            path.unlink()
+            deleted.append(path.name)
+        return deleted

@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``):
     repro corpus                                    list corpus contracts
     repro bench     fig1|fig12|fig13|fig14|table|overheads|ablation|parallel
     repro chaos     [--seed N --epochs E]           fault-injection run
+    repro run       --data-dir D [--workload W]     durable workload run
+    repro resume    --data-dir D [--workload W]     continue a durable run
+    repro torture   [--workload W | --all]          kill-and-resume proof
 """
 
 from __future__ import annotations
@@ -182,6 +185,64 @@ def cmd_chaos(args) -> int:
     return 0 if (result.churn or result.consistent) else 1
 
 
+def _run_durable_cmd(args, require_existing: bool) -> int:
+    import json as json_mod
+
+    from .eval.chaos import run_durable
+    result = run_durable(
+        args.workload, data_dir=args.data_dir, seed=args.seed,
+        epochs=args.epochs, shards=args.shards, users=args.users,
+        txns=args.txns, fault_seed=args.fault_seed,
+        executor=args.executor, fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+        keep_snapshots=args.keep_snapshots,
+        crash_at_barrier=args.crash_at_barrier,
+        crash_at_append=args.crash_at_append,
+        require_existing=require_existing)
+    if args.json:
+        print(json_mod.dumps({
+            "completed": True, "workload": result.workload,
+            "fingerprint": result.fingerprint,
+            "epochs_done": result.epochs_done,
+            "resumed": result.resumed, "restarted": result.restarted,
+            "barriers": result.barriers, "appends": result.appends,
+        }))
+        return 0
+    how = ("resumed" if result.resumed
+           else "restarted (setup was incomplete)" if result.restarted
+           else "fresh")
+    print(f"{result.workload!r}: {how}, {result.epochs_done} measured "
+          f"epochs done, {result.appends} WAL records across "
+          f"{result.barriers} barriers")
+    for addr, digest in sorted(result.fingerprint.items()):
+        print(f"  {addr}: {digest}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    return _run_durable_cmd(args, require_existing=False)
+
+
+def cmd_resume(args) -> int:
+    return _run_durable_cmd(args, require_existing=True)
+
+
+def cmd_torture(args) -> int:
+    from .eval.chaos import format_torture_report, run_crash_torture
+    from .workloads.generators import ALL_WORKLOADS
+    names = ([cls.name for cls in ALL_WORKLOADS] if args.all
+             else [args.workload])
+    outcomes = []
+    for name in names:
+        outcomes.append(run_crash_torture(
+            name, kills=args.kills, seed=args.seed, epochs=args.epochs,
+            shards=args.shards, users=args.users, txns=args.txns,
+            fault_seed=args.fault_seed, executor=args.executor,
+            rng_seed=args.rng_seed))
+    print(format_torture_report(outcomes))
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -254,6 +315,70 @@ def build_parser() -> argparse.ArgumentParser:
                         "transactions (disables the equivalence "
                         "verdict)")
     p.set_defaults(func=cmd_chaos)
+
+    def add_durable_args(p, with_crash_hooks: bool) -> None:
+        p.add_argument("--data-dir", required=True,
+                       help="directory for WAL segments and snapshots")
+        p.add_argument("--workload", default="FT transfer")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--epochs", type=int, default=3)
+        p.add_argument("--shards", type=int, default=4)
+        p.add_argument("--users", type=int, default=12)
+        p.add_argument("--txns", type=int, default=10,
+                       help="transactions per epoch")
+        p.add_argument("--fault-seed", type=int, default=None,
+                       help="also inject a seeded FaultPlan")
+        p.add_argument("--executor", default=None,
+                       choices=["serial", "thread", "process"])
+        p.add_argument("--fsync", default="commit",
+                       choices=["always", "commit", "never"])
+        p.add_argument("--snapshot-every", type=int, default=4,
+                       help="epoch commits between durable snapshots")
+        p.add_argument("--keep-snapshots", type=int, default=3)
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable result on stdout")
+        if with_crash_hooks:
+            p.add_argument("--crash-at-barrier", type=int, default=None,
+                           help="SIGKILL self after the Nth WAL barrier "
+                                "(crash testing)")
+            p.add_argument("--crash-at-append", type=int, default=None,
+                           help="SIGKILL self halfway through the Nth "
+                                "WAL append (torn-write testing)")
+
+    p = sub.add_parser(
+        "run",
+        help="run a workload with WAL-backed durability (resumes "
+             "automatically if the data dir already holds a log)")
+    add_durable_args(p, with_crash_hooks=True)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue a durable run from its data dir (fails if "
+             "there is nothing to resume)")
+    add_durable_args(p, with_crash_hooks=True)
+    p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "torture",
+        help="crash-torture proof: SIGKILL a durable run at random "
+             "WAL barriers, resume, and verify the final state "
+             "matches an uninterrupted run")
+    p.add_argument("--workload", default="FT transfer")
+    p.add_argument("--all", action="store_true",
+                   help="torture all eight Fig. 14 workloads")
+    p.add_argument("--kills", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--users", type=int, default=12)
+    p.add_argument("--txns", type=int, default=10)
+    p.add_argument("--fault-seed", type=int, default=None)
+    p.add_argument("--executor", default=None,
+                   choices=["serial", "thread", "process"])
+    p.add_argument("--rng-seed", type=int, default=0,
+                   help="seed for choosing the kill points")
+    p.set_defaults(func=cmd_torture)
     return parser
 
 

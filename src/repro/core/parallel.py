@@ -106,6 +106,7 @@ class CorpusAnalysis:
     analyzed: int = 0          # pipeline runs actually performed
     cache_stats: CacheStats = dc_field(default_factory=CacheStats)
     fell_back: bool = False    # pool failed; completed serially
+    fallback_error: str | None = None  # what the pool actually raised
 
     @property
     def n_contracts(self) -> int:
@@ -169,14 +170,15 @@ def analyze_corpus(sources: dict[str, str],
     else:
         items = [(names[0], source, with_analysis)
                  for source, names in misses.items()]
-        pool = (shared_thread_pool(workers) if executor == "thread"
-                else shared_process_pool(workers))
         try:
+            pool = (shared_thread_pool(workers) if executor == "thread"
+                    else shared_process_pool(workers))
             computed = list(pool.map(_analyze_one, items))
-        except Exception:
+        except Exception as exc:
             if executor == "process":
                 reset_process_pool()
             out.fell_back = True
+            out.fallback_error = f"{type(exc).__name__}: {exc!r}"
             computed = _serially(items)
 
     by_first_name = dict(computed)

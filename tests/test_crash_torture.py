@@ -1,0 +1,50 @@
+"""Crash torture: SIGKILL real subprocesses at WAL barriers and verify
+resumed runs end byte-identical to uninterrupted ones.
+
+These tests spawn ``python -m repro run`` subprocesses (see
+repro.eval.chaos.run_crash_torture), so they are the slowest tier-1
+tests; the parameters are deliberately tiny.
+"""
+
+import pytest
+
+from repro.eval.chaos import (
+    format_torture_report, run_crash_torture,
+)
+from repro.workloads.generators import ALL_WORKLOADS
+
+TINY = dict(kills=1, epochs=2, users=8, txns=6, shards=3)
+
+
+@pytest.mark.parametrize("workload",
+                         [cls.name for cls in ALL_WORKLOADS])
+def test_torture_all_workloads_fault_free(workload):
+    outcome = run_crash_torture(workload, **TINY, rng_seed=11)
+    assert outcome.passed, format_torture_report([outcome])
+    assert outcome.kills + outcome.completed_early >= 1
+
+
+def test_torture_under_fault_plan():
+    outcome = run_crash_torture("FT transfer", kills=2, epochs=3,
+                                users=10, txns=8, shards=3,
+                                fault_seed=5, rng_seed=3)
+    assert outcome.passed, format_torture_report([outcome])
+
+
+def test_torture_thread_executor():
+    outcome = run_crash_torture("NFT mint", **TINY, executor="thread",
+                                rng_seed=7)
+    assert outcome.passed, format_torture_report([outcome])
+
+
+def test_torture_process_executor():
+    outcome = run_crash_torture("UD bestow", **TINY,
+                                executor="process", rng_seed=5)
+    assert outcome.passed, format_torture_report([outcome])
+
+
+def test_torture_torn_writes():
+    """Force the torn-tail path specifically (mid-record SIGKILL)."""
+    outcome = run_crash_torture("FT fund", **TINY, rng_seed=1,
+                                torn_ratio=1.0)
+    assert outcome.passed, format_torture_report([outcome])

@@ -1,0 +1,282 @@
+"""Durability integration tests: logged runs, resume, replay checks.
+
+The in-process half of the crash-safety story (the out-of-process
+SIGKILL half lives in tests/test_crash_torture.py): a durable network
+must behave exactly like a plain one, a closed data dir must resume
+into an equivalent network, and replay must refuse logs that do not
+reproduce their recorded commits.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chain import Network, call
+from repro.chain.faults import FaultPlan
+from repro.chain.recovery import network_fingerprint
+from repro.chain.store import SnapshotStore
+from repro.chain.wal import (
+    WALError, WALRecord, WriteAheadLog, _encode, _segment_files,
+    read_wal,
+)
+from repro.contracts import CORPUS
+from repro.scilla.values import IntVal, StringVal, addr, uint
+from repro.scilla import types as ty
+from repro.workloads.generators import workload_by_name
+
+TOKEN = "0x" + "c0" * 20
+ADMIN = "0x" + "ad" * 20
+USERS = ["0x" + f"{i:040x}" for i in range(1, 13)]
+
+
+def build_and_run(epochs=3, data_dir=None, net_kwargs=None,
+                  **durable_kwargs) -> Network:
+    net = Network(3, **(net_kwargs or {}),
+                  **({"data_dir": str(data_dir), **durable_kwargs}
+                     if data_dir is not None else {}))
+    net.create_account(ADMIN)
+    for u in USERS:
+        net.create_account(u)
+    net.deploy(CORPUS["FungibleToken"], TOKEN, {
+        "contract_owner": addr(ADMIN), "name": StringVal("T"),
+        "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(0),
+    }, sharded_transitions=("Mint", "Transfer", "TransferFrom"))
+    net.process_epoch(
+        [call(ADMIN, TOKEN, "Mint",
+              {"recipient": addr(u), "amount": uint(1000)}, nonce=i + 1)
+         for i, u in enumerate(USERS)], unlimited=True)
+    for e in range(epochs):
+        net.process_epoch(transfer_round(nonce=e + 1),
+                          wal_tag="measure")
+    return net
+
+
+def transfer_round(nonce=1):
+    return [call(u, TOKEN, "Transfer",
+                 {"to": addr(USERS[(i + 5) % len(USERS)]),
+                  "amount": uint(i + 1)}, nonce=nonce)
+            for i, u in enumerate(USERS)]
+
+
+# -- durability off by default ------------------------------------------------
+
+def test_data_dir_none_touches_no_disk_and_matches(tmp_path):
+    plain = build_and_run()
+    assert plain.wal is None and plain.store is None
+    durable = build_and_run(data_dir=tmp_path)
+    assert network_fingerprint(durable) == network_fingerprint(plain)
+    assert durable.epoch == plain.epoch
+    durable.close()
+    assert _segment_files(Path(tmp_path))  # the log really exists
+
+
+def test_fresh_dir_guard(tmp_path):
+    build_and_run(data_dir=tmp_path).close()
+    with pytest.raises(WALError, match="use Network.resume"):
+        Network(3, data_dir=str(tmp_path))
+
+
+def test_resume_empty_dir_fails(tmp_path):
+    with pytest.raises(WALError, match="nothing to resume"):
+        Network.resume(str(tmp_path))
+
+
+# -- clean-close resume -------------------------------------------------------
+
+def test_resume_clean_close_equivalent_and_continues(tmp_path):
+    reference = build_and_run(epochs=4)
+
+    build_and_run(epochs=2, data_dir=tmp_path).close()
+    net = Network.resume(str(tmp_path))
+    assert net.epoch_tags == {"epoch": 1, "measure": 2}
+    for e in range(2, 4):
+        net.process_epoch(transfer_round(nonce=e + 1),
+                          wal_tag="measure")
+    assert network_fingerprint(net) == network_fingerprint(reference)
+    net.close()
+
+    # A second resume replays the continued log too.
+    again = Network.resume(str(tmp_path))
+    assert network_fingerprint(again) == network_fingerprint(reference)
+    again.close()
+
+
+def test_resume_from_snapshot_plus_wal_suffix(tmp_path):
+    reference = build_and_run(epochs=4)
+    net = build_and_run(epochs=2, data_dir=tmp_path,
+                        snapshot_every=10**9)
+    net.snapshot()  # snapshot now …
+    net.process_epoch(transfer_round(nonce=3), wal_tag="measure")
+    net.process_epoch(transfer_round(nonce=4), wal_tag="measure")
+    net.close()     # … leaving two epochs only in the WAL
+
+    resumed = Network.resume(str(tmp_path))
+    assert network_fingerprint(resumed) == \
+        network_fingerprint(reference)
+    assert resumed.epoch_tags == {"epoch": 1, "measure": 4}
+    resumed.close()
+
+
+def test_resume_from_wal_only_after_snapshots_deleted(tmp_path):
+    reference = build_and_run(epochs=3)
+    net = build_and_run(epochs=3, data_dir=tmp_path,
+                        snapshot_every=10**9)
+    net.close()
+    for snap in SnapshotStore(tmp_path).paths():
+        snap.unlink()
+    resumed = Network.resume(str(tmp_path))
+    assert network_fingerprint(resumed) == \
+        network_fingerprint(reference)
+    resumed.close()
+
+
+def test_snapshot_compacts_wal_and_bounds_replay(tmp_path):
+    net = build_and_run(epochs=6, data_dir=tmp_path, snapshot_every=2,
+                        keep_snapshots=2)
+    net.close()
+    store = SnapshotStore(tmp_path)
+    assert len(store.paths()) == 2  # retention held
+    newest = store.load_newest()
+    # Every surviving WAL record is at or past the newest snapshot's
+    # horizon minus one segment (compaction never splits a segment).
+    segments = _segment_files(Path(tmp_path))
+    assert segments
+    records = read_wal(tmp_path)
+    if records:
+        assert records[-1].seq >= newest["wal_seq"]
+    resumed = Network.resume(str(tmp_path))
+    assert network_fingerprint(resumed) == network_fingerprint(net)
+    resumed.close()
+
+
+def test_resume_respects_executor_override(tmp_path):
+    build_and_run(epochs=2, data_dir=tmp_path).close()
+    net = Network.resume(str(tmp_path), executor="thread")
+    assert net.executor == "thread"
+    net.close()
+
+
+def test_wal_notes_survive_resume(tmp_path):
+    net = build_and_run(epochs=1, data_dir=tmp_path)
+    net.wal_note({"kind": "marker", "n": 1})
+    net.snapshot()
+    net.wal_note({"kind": "marker", "n": 2})
+    net.close()
+    resumed = Network.resume(str(tmp_path))
+    markers = [n for n in resumed.wal_notes
+               if isinstance(n, dict) and n.get("kind") == "marker"]
+    assert markers == [{"kind": "marker", "n": 1},
+                       {"kind": "marker", "n": 2}]
+    resumed.close()
+
+
+def test_resume_under_fault_plan_matches(tmp_path):
+    plan = FaultPlan.random(3, epochs=6, n_shards=3)
+    reference = build_and_run(epochs=4,
+                              net_kwargs={"fault_plan": plan})
+    net = build_and_run(epochs=2, data_dir=tmp_path,
+                        net_kwargs={"fault_plan": plan})
+    net.close()
+    resumed = Network.resume(str(tmp_path))
+    for e in range(2, 4):
+        resumed.process_epoch(transfer_round(nonce=e + 1),
+                              wal_tag="measure")
+    assert network_fingerprint(resumed) == \
+        network_fingerprint(reference)
+    resumed.close()
+
+
+# -- torn tails and divergence detection --------------------------------------
+
+def test_resume_after_torn_tail_drops_the_torn_epoch(tmp_path):
+    net = build_and_run(epochs=2, data_dir=tmp_path,
+                        snapshot_every=10**9)
+    net.close()
+    # Tear the last record (the final commit) in half.
+    (segment,) = _segment_files(Path(tmp_path))
+    blob = segment.read_bytes()
+    records = read_wal(tmp_path)
+    last_frame = _encode(records[-1])
+    assert blob.endswith(last_frame)
+    segment.write_bytes(blob[:-len(last_frame) // 2])
+
+    resumed = Network.resume(str(tmp_path))
+    # The commit record was torn but the epoch's inputs were already
+    # durable — replay re-executed them, losing nothing.
+    assert resumed.epoch_tags == {"epoch": 1, "measure": 2}
+    assert network_fingerprint(resumed) == network_fingerprint(net)
+    resumed.close()
+
+
+def test_replay_rejects_divergent_commit_digest(tmp_path):
+    net = build_and_run(epochs=2, data_dir=tmp_path,
+                        snapshot_every=10**9)
+    net.close()
+    # Rewrite the final commit record with a forged digest (correctly
+    # framed and CRC'd, so only the semantic check can catch it).
+    (segment,) = _segment_files(Path(tmp_path))
+    blob = segment.read_bytes()
+    last = read_wal(tmp_path)[-1]
+    assert last.type == "commit"
+    forged = WALRecord(last.seq, "commit",
+                       {**last.data, "digest": "0" * 64})
+    segment.write_bytes(blob[:-len(_encode(last))] + _encode(forged))
+
+    with pytest.raises(WALError, match="diverged"):
+        Network.resume(str(tmp_path))
+
+
+def test_replay_rejects_out_of_step_epoch_record(tmp_path):
+    net = build_and_run(epochs=1, data_dir=tmp_path,
+                        snapshot_every=10**9)
+    net.close()
+    (segment,) = _segment_files(Path(tmp_path))
+    records = read_wal(tmp_path)
+    rewritten = []
+    for r in records:
+        if r.type == "epoch":
+            r = WALRecord(r.seq, "epoch",
+                          {**r.data, "epoch": r.data["epoch"] + 7})
+        rewritten.append(r)
+    segment.write_bytes(b"".join(_encode(r) for r in rewritten))
+    with pytest.raises(WALError, match="out of step"):
+        Network.resume(str(tmp_path))
+
+
+def test_replay_rejects_unknown_record_type(tmp_path):
+    net = build_and_run(epochs=1, data_dir=tmp_path)
+    net.wal.append("mystery", {})
+    net.close()
+    with pytest.raises(WALError, match="unknown WAL record type"):
+        Network.resume(str(tmp_path))
+
+
+# -- lane-pool observability (satellite: no silent fallbacks) -----------------
+
+def test_pool_failure_detail_recorded(monkeypatch):
+    net = build_and_run(epochs=0, net_kwargs={"executor": "thread"})
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("pool exploded")
+    monkeypatch.setattr("repro.core.parallel.shared_thread_pool", boom)
+    net.process_epoch(transfer_round())
+    assert net.executor_fallbacks == 1
+    assert net.executor_fallback_details == \
+        ["thread: RuntimeError: RuntimeError('pool exploded')"]
+
+
+def test_corpus_analysis_fallback_error_recorded(monkeypatch):
+    from repro.core import parallel as par
+    monkeypatch.setattr(par, "shared_thread_pool",
+                        lambda workers: (_ for _ in ()).throw(
+                            RuntimeError("no threads today")))
+    out = par.analyze_corpus(
+        {f"c{i}": CORPUS["FungibleToken"] + f"\n(* {i} *)"
+         for i in range(3)},
+        executor="thread", workers=2, cache=par.SummaryCache())
+    assert out.fell_back
+    assert out.fallback_error == \
+        "RuntimeError: RuntimeError('no threads today')"
+    assert out.n_contracts == 3

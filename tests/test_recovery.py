@@ -80,6 +80,69 @@ def test_checkpoint_drops_accounts_created_after_take():
     assert _pad("0x" + "99" * 20) not in net.accounts
 
 
+def test_checkpoint_restores_dead_letter_and_executor_counters():
+    """An aborted epoch attempt must not leak dead-lettered
+    transactions or inflated executor counters into the commit."""
+    net = ft_network()
+    mint_all(net)
+    poisoned = call(USERS[0], TOKEN, "Transfer",
+                    {"to": addr(USERS[1]), "amount": uint(1)}, nonce=99)
+    net.dead_letter.append(poisoned)
+    net.executor_fallbacks = 2
+    net.executor_fallback_details = ["thread: OSError: OSError(24)"]
+    checkpoint = NetworkCheckpoint.take(net)
+
+    # Mutations by a doomed attempt…
+    net.dead_letter.append(call(USERS[2], TOKEN, "Transfer",
+                                {"to": addr(USERS[3]),
+                                 "amount": uint(1)}, nonce=100))
+    net.executor_fallbacks = 7
+    net.executor_fallback_details.append("process: bang")
+
+    # …are all rolled back, repeatably.
+    for _ in range(2):
+        checkpoint.restore(net)
+        assert [tx.tx_id for tx in net.dead_letter] == [poisoned.tx_id]
+        assert net.executor_fallbacks == 2
+        assert net.executor_fallback_details == \
+            ["thread: OSError: OSError(24)"]
+
+
+def test_view_change_after_dead_letter_keeps_it_exact():
+    """End-to-end regression: once transactions have been
+    dead-lettered, a later epoch's view changes (which roll the network
+    back to the epoch-start checkpoint, possibly repeatedly) must not
+    drop, duplicate, or re-dead-letter them."""
+    tiny = CostModel(shard_gas_limit=120, ds_gas_limit=120)
+    plan = FaultPlan([FaultEvent(5, FaultKind.DELAY_MICROBLOCK, s)
+                      for s in range(2)])
+
+    def run(fault_plan):
+        net = ft_network(cost_model=tiny, carry_backlog=True,
+                         max_retries=2, fault_plan=fault_plan)
+        mint_all(net)
+        net.process_epoch(transfer_round())
+        for _ in range(10):
+            if not net.backlog:
+                break
+            net.process_epoch([])
+        assert net.epoch == 4 and net.dead_letter  # dead letters exist…
+        net.process_epoch([])                      # …when epoch 5 runs
+        return net
+
+    clean, faulty = run(None), run(plan)
+    assert faulty.blocks[-1].stats.view_changes >= 1
+    assert clean.blocks[-1].stats.view_changes == 0
+    assert len(faulty.dead_letter) == len(clean.dead_letter)
+    assert [(tx.sender, tx.transition, tx.nonce)
+            for tx in faulty.dead_letter] == \
+        [(tx.sender, tx.transition, tx.nonce)
+         for tx in clean.dead_letter]
+    assert sum(b.stats.dead_lettered for b in faulty.blocks) == \
+        len(faulty.dead_letter)
+    assert network_fingerprint(faulty) == network_fingerprint(clean)
+
+
 def test_state_fingerprint_is_insertion_order_independent():
     net1 = ft_network()
     mint_all(net1)

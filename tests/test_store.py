@@ -1,0 +1,180 @@
+"""Snapshot store tests: round-trips, atomicity, digests, retention."""
+
+import json
+
+import pytest
+
+from repro.chain import Network, call
+from repro.chain.faults import FaultEvent, FaultKind, FaultPlan
+from repro.chain.recovery import network_fingerprint
+from repro.chain.store import (
+    SnapshotError, SnapshotStore, network_from_snapshot,
+    snapshot_network,
+)
+from repro.contracts import CORPUS
+from repro.scilla.values import IntVal, StringVal, addr, uint
+from repro.scilla import types as ty
+
+TOKEN = "0x" + "c0" * 20
+ADMIN = "0x" + "ad" * 20
+USERS = ["0x" + f"{i:040x}" for i in range(1, 13)]
+
+
+def ft_network(**kwargs) -> Network:
+    net = Network(3, **kwargs)
+    net.create_account(ADMIN)
+    for u in USERS:
+        net.create_account(u)
+    net.deploy(CORPUS["FungibleToken"], TOKEN, {
+        "contract_owner": addr(ADMIN), "name": StringVal("T"),
+        "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(0),
+    }, sharded_transitions=("Mint", "Transfer", "TransferFrom"))
+    txns = [call(ADMIN, TOKEN, "Mint",
+                 {"recipient": addr(u), "amount": uint(1000)},
+                 nonce=i + 1)
+            for i, u in enumerate(USERS)]
+    net.process_epoch(txns, unlimited=True)
+    return net
+
+
+def transfer_round(nonce=1):
+    return [call(u, TOKEN, "Transfer",
+                 {"to": addr(USERS[(i + 5) % len(USERS)]),
+                  "amount": uint(i + 1)}, nonce=nonce)
+            for i, u in enumerate(USERS)]
+
+
+# -- network <-> snapshot object ----------------------------------------------
+
+def test_snapshot_roundtrip_preserves_state_and_future():
+    net = ft_network()
+    net.process_epoch(transfer_round())
+    obj = json.loads(json.dumps(snapshot_network(net, wal_seq=42)))
+    restored = network_from_snapshot(obj)
+
+    assert restored.epoch == net.epoch
+    assert network_fingerprint(restored) == network_fingerprint(net)
+    assert restored.accounts.keys() == net.accounts.keys()
+    for a in net.accounts:
+        assert restored.accounts[a].balance == net.accounts[a].balance
+        assert restored.accounts[a].shard_portions == \
+            net.accounts[a].shard_portions
+    assert restored.nonces.last_global == net.nonces.last_global
+
+    # The decisive property: both networks process the *same* next
+    # epoch identically.
+    nxt = transfer_round(nonce=2)
+    net.process_epoch(nxt)
+    restored.process_epoch(
+        [tx for tx in nxt])
+    assert network_fingerprint(restored) == network_fingerprint(net)
+
+
+def test_snapshot_carries_backlog_dead_letter_and_counters():
+    from repro.chain.consensus import CostModel
+    tiny = CostModel(shard_gas_limit=150, ds_gas_limit=150)
+    net = ft_network(cost_model=tiny, carry_backlog=True, max_retries=1)
+    net.process_epoch(transfer_round())
+    for _ in range(6):
+        if not net.backlog:
+            break
+        net.process_epoch([])
+    assert net.dead_letter
+    net.executor_fallback_details.append("thread: RuntimeError: boom")
+    net.epoch_tags["measure"] = 3
+
+    restored = network_from_snapshot(
+        json.loads(json.dumps(snapshot_network(net, wal_seq=1))))
+    assert [tx.tx_id for tx in restored.dead_letter] == \
+        [tx.tx_id for tx in net.dead_letter]
+    assert [(e.tx.tx_id, e.retries, e.not_before)
+            for e in restored.backlog] == \
+        [(e.tx.tx_id, e.retries, e.not_before) for e in net.backlog]
+    assert restored.executor_fallback_details == \
+        net.executor_fallback_details
+    assert restored.epoch_tags == net.epoch_tags
+
+
+def test_snapshot_carries_fault_plan_and_injector_counters():
+    plan = FaultPlan([FaultEvent(2, FaultKind.CRASH_SHARD, 0)], seed=9)
+    net = ft_network(fault_plan=plan)
+    net.process_epoch(transfer_round())
+    assert net.blocks[-1].excluded_lanes  # the fault fired
+
+    restored = network_from_snapshot(
+        json.loads(json.dumps(snapshot_network(net, wal_seq=1))))
+    assert restored.injector is not None
+    assert restored.injector.plan.seed == 9
+    assert restored.injector.plan.events == plan.events
+    assert restored.injector.injected == net.injector.injected
+    assert restored.injector.skipped == net.injector.skipped
+
+
+def test_snapshot_version_guard():
+    net = ft_network()
+    obj = snapshot_network(net, wal_seq=0)
+    obj["version"] = 99
+    with pytest.raises(SnapshotError, match="version"):
+        network_from_snapshot(obj)
+
+
+# -- durable storage ----------------------------------------------------------
+
+def test_store_save_load_newest(tmp_path):
+    net = ft_network()
+    store = SnapshotStore(tmp_path)
+    store.save(snapshot_network(net, wal_seq=10))
+    net.process_epoch(transfer_round())
+    store.save(snapshot_network(net, wal_seq=20))
+
+    obj = store.load_newest()
+    assert obj["wal_seq"] == 20
+    assert obj["epoch"] == net.epoch
+    assert len(store.paths()) == 2
+
+
+def test_store_skips_tampered_snapshot(tmp_path):
+    net = ft_network()
+    store = SnapshotStore(tmp_path)
+    store.save(snapshot_network(net, wal_seq=10))
+    net.process_epoch(transfer_round())
+    newest = store.save(snapshot_network(net, wal_seq=20))
+
+    body = json.loads(newest.read_text())
+    body["snapshot"]["epoch"] += 1  # tamper without fixing the digest
+    newest.write_text(json.dumps(body))
+    obj = store.load_newest()
+    assert obj["wal_seq"] == 10  # fell back to the older valid one
+
+    newest.write_text("not json at all")
+    assert store.load_newest()["wal_seq"] == 10
+
+
+def test_store_no_snapshot_returns_none(tmp_path):
+    assert SnapshotStore(tmp_path).load_newest() is None
+
+
+def test_store_save_leaves_no_temp_files(tmp_path):
+    net = ft_network()
+    store = SnapshotStore(tmp_path)
+    store.save(snapshot_network(net, wal_seq=1))
+    assert not [p for p in tmp_path.iterdir()
+                if p.name.endswith(".tmp")]
+
+
+def test_store_retention(tmp_path):
+    net = ft_network()
+    store = SnapshotStore(tmp_path, keep=2)
+    for seq in (1, 2, 3, 4):
+        store.save(snapshot_network(net, wal_seq=seq))
+    deleted = store.compact()
+    assert len(deleted) == 2
+    remaining = store.paths()
+    assert len(remaining) == 2
+    assert store.load_newest()["wal_seq"] == 4
+
+
+def test_store_keep_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        SnapshotStore(tmp_path, keep=0)
