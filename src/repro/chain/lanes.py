@@ -83,6 +83,9 @@ class LaneTask:
     # (lane, source_hash).  Never pickled — process tasks leave it None
     # and use the per-worker module cache instead.
     runtime_cache: dict | None = dc_field(default=None, repr=False)
+    # When the owning network records telemetry, the worker records the
+    # lane's metrics into a private registry shipped back in the result.
+    metrics_enabled: bool = False
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -107,6 +110,11 @@ class LaneResult:
     nonce_used_added: dict[str, set[int]]
     nonce_last_global: dict[str, int]
     nonce_last_lane: dict[str, int]
+    # Snapshot of the worker's private registry (None when telemetry is
+    # off).  The coordinator folds it in at the same point it applies
+    # the lane's other effects, in shard order, so merged counters are
+    # identical to what the serial loop records inline.
+    metrics: dict | None = None
 
     def apply_effects(self, net) -> None:
         """Merge this lane's account/nonce effects into the network.
@@ -171,6 +179,7 @@ def build_lane_task(net, lane: int, queue: list[Transaction],
         queue=queue, contracts=contracts, accounts=accounts,
         nonce_used=nonce_used, nonce_last_lane=nonce_last_lane,
         runtime_cache=net._runtime_cache if ship_modules else None,
+        metrics_enabled=net.metrics.enabled,
     )
 
 
@@ -213,10 +222,13 @@ def run_lane_task(task: LaneTask) -> LaneResult:
     the execution semantics are *the same code* as the serial
     executor's — parallelism changes scheduling, never meaning.
     """
+    from ..obs.metrics import MetricsRegistry
     from .network import DeployedContract, Network
 
+    registry = MetricsRegistry() if task.metrics_enabled else None
     net = Network(task.n_shards, use_signatures=task.use_signatures,
-                  overflow_guard=task.overflow_guard, executor="serial")
+                  overflow_guard=task.overflow_guard, executor="serial",
+                  metrics=registry)
     net.epoch = task.epoch
     for addr, payload in task.contracts.items():
         module, interp = _runtime_for(task.lane, payload,
@@ -273,6 +285,7 @@ def run_lane_task(task: LaneTask) -> LaneResult:
         nonce_used_added=nonce_used_added,
         nonce_last_global=dict(net.nonces.last_global),
         nonce_last_lane=nonce_last_lane,
+        metrics=registry.snapshot() if registry is not None else None,
     )
 
 

@@ -16,10 +16,13 @@ to it; the FinalBlock's state becomes the next epoch's start state.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import asdict, dataclass, field as dc_field
 
 from ..core.joins import JoinKind
 from ..core.pipeline import run_pipeline_cached
+from ..obs.metrics import GAS_BUCKETS, NS_BUCKETS, NULL_REGISTRY
+from ..obs.tracing import NULL_TRACER
 from ..core.signature import ShardingSignature
 from ..scilla.ast import Module
 from ..scilla.interpreter import Interpreter, TxContext
@@ -96,6 +99,73 @@ class EpochStats:
     dead_lettered: int = 0    # txns dropped after max_retries
 
 
+class _NetworkMeters:
+    """Every instrument the network records, created once per network.
+
+    Counters without a flag are *deterministic*: their values are a
+    pure function of the submitted workload, identical across the
+    serial/thread/process executors and across a crash + resume
+    (``tests/test_telemetry_differential.py`` enforces this).
+    Executor-strategy and WAL counters legitimately vary between
+    otherwise-identical runs, and every duration histogram is
+    wall-clock, so those carry ``deterministic=False``.
+
+    With a disabled registry every attribute is the shared null
+    instrument — recording is an empty call.
+    """
+
+    def __init__(self, m):
+        self.epochs = m.counter("net.epochs")
+        self.tx_dispatched = m.counter("net.tx.dispatched")
+        self.tx_committed = m.counter("net.tx.committed")
+        self.tx_failed = m.counter("net.tx.failed")
+        self.tx_deferred = m.counter("net.tx.deferred")
+        self.tx_carried = m.counter("net.tx.carried")
+        self.tx_to_ds = m.counter("net.tx.to_ds")
+        self.tx_recovered = m.counter("net.tx.recovered")
+        self.tx_reexecuted = m.counter("net.tx.reexecuted")
+        self.tx_dead_lettered = m.counter("net.tx.dead_lettered")
+        self.view_changes = m.counter("net.view_changes")
+        self.rejected_deltas = m.counter("net.rejected_deltas")
+        self.merge_deltas = m.counter("net.merge.deltas")
+        self.merge_locations = m.counter("net.merge.locations")
+        self.deploys = m.counter("net.deploy.count")
+        # Hit/miss attribution reads the process-wide GLOBAL_CACHE,
+        # whose warmth a resumed process does not share — a replayed
+        # deploy can miss where the original hit.
+        self.deploy_cache_hits = m.counter("net.deploy.cache_hits",
+                                           deterministic=False)
+        self.deploy_cache_misses = m.counter("net.deploy.cache_misses",
+                                             deterministic=False)
+        self.lane_tx_executed = m.counter("lane.tx.executed")
+        self.lane_tx_ok = m.counter("lane.tx.ok")
+        self.lane_tx_failed = m.counter("lane.tx.failed")
+        self.lane_gas = m.counter("lane.gas.used")
+        self.lane_gas_per_tx = m.histogram("lane.gas_per_tx", GAS_BUCKETS)
+        self.parallel_epochs = m.counter("net.executor.parallel_epochs",
+                                         deterministic=False)
+        self.executor_fallbacks = m.counter("net.executor.fallbacks",
+                                            deterministic=False)
+        self.wal_appends = m.counter("net.wal.appends",
+                                     deterministic=False)
+        self.wal_barriers = m.counter("net.wal.barriers",
+                                      deterministic=False)
+        self.backlog_size = m.gauge("net.backlog.size")
+        self.dead_letter_size = m.gauge("net.dead_letter.size")
+        self.epoch_ns = m.histogram("net.epoch_ns", NS_BUCKETS,
+                                    deterministic=False)
+        self.lane_exec_ns = m.histogram("lane.exec_ns", NS_BUCKETS,
+                                        deterministic=False)
+        self.merge_ns = m.histogram("net.merge_ns", NS_BUCKETS,
+                                    deterministic=False)
+        self.wal_append_ns = m.histogram("net.wal.append_ns", NS_BUCKETS,
+                                         deterministic=False)
+        self.wal_fsync_ns = m.histogram("net.wal.fsync_ns", NS_BUCKETS,
+                                        deterministic=False)
+        self.deploy_ns = m.histogram("net.deploy_ns", NS_BUCKETS,
+                                     deterministic=False)
+
+
 @dataclass
 class _EpochAttempt:
     """Everything one attempt at an epoch produced (pre-finalisation)."""
@@ -129,7 +199,9 @@ class Network:
                  snapshot_every: int = 8,
                  keep_snapshots: int = 3,
                  crash_at_barrier: int | None = None,
-                 crash_at_append: int | None = None):
+                 crash_at_append: int | None = None,
+                 metrics=None,
+                 tracer=None):
         self.n_shards = n_shards
         self.shard_size = shard_size
         self.ds_size = ds_size
@@ -162,6 +234,12 @@ class Network:
                 f"{EXECUTOR_STRATEGIES}")
         self.executor = executor
         self.lane_workers = lane_workers
+        # Observability (repro.obs).  Off by default: the null registry
+        # and tracer answer every record with an empty call, so the
+        # simulator's hot paths stay uninstrumented-cheap.
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._meters = _NetworkMeters(self.metrics)
         # (lane, source-hash) -> (module, interpreter), reused across
         # epochs by the thread executor so each lane keeps a private
         # interpreter (run_transition installs a per-call gas hook).
@@ -254,8 +332,21 @@ class Network:
         }, barrier=True)
         address = _pad(address)
         # Content-addressed: redeployments of an already-analysed
-        # source (and miner-side validations) skip the pipeline.
-        result = run_pipeline_cached(source, address)
+        # source (and miner-side validations) skip the pipeline.  The
+        # hit/miss delta is attributed to this network's own telemetry
+        # (deploys always run on the coordinating thread, so the delta
+        # is this call's).
+        from ..core.cache import GLOBAL_CACHE
+        meters = self._meters
+        meters.deploys.inc()
+        hits0, misses0 = GLOBAL_CACHE.stats.hits, GLOBAL_CACHE.stats.misses
+        t0 = time.perf_counter_ns() if self.metrics.enabled else 0
+        with self.tracer.span(f"deploy {address[:10]}"):
+            result = run_pipeline_cached(source, address)
+        if self.metrics.enabled:
+            meters.deploy_ns.observe(time.perf_counter_ns() - t0)
+        meters.deploy_cache_hits.inc(GLOBAL_CACHE.stats.hits - hits0)
+        meters.deploy_cache_misses.inc(GLOBAL_CACHE.stats.misses - misses0)
         interpreter = Interpreter(result.module)
         state = interpreter.deploy(address, params, balance)
         signature = None
@@ -283,9 +374,22 @@ class Network:
     def _wal_append(self, type: str, data, barrier: bool = False) -> None:
         if self.wal is None or self._replaying:
             return
-        self.wal.append(type, data)
+        meters = self._meters
+        if self.metrics.enabled:
+            t0 = time.perf_counter_ns()
+            self.wal.append(type, data)
+            meters.wal_append_ns.observe(time.perf_counter_ns() - t0)
+            if barrier:
+                t1 = time.perf_counter_ns()
+                self.wal.barrier()
+                meters.wal_fsync_ns.observe(time.perf_counter_ns() - t1)
+        else:
+            self.wal.append(type, data)
+            if barrier:
+                self.wal.barrier()
+        meters.wal_appends.inc()
         if barrier:
-            self.wal.barrier()
+            meters.wal_barriers.inc()
 
     def wal_note(self, data) -> None:
         """Record a durable, application-level annotation (replayed on
@@ -332,7 +436,8 @@ class Network:
 
     @classmethod
     def _from_config(cls, config, executor: str | None = None,
-                     lane_workers: int | None = None) -> "Network":
+                     lane_workers: int | None = None,
+                     metrics=None, tracer=None) -> "Network":
         return cls(
             n_shards=config["n_shards"],
             shard_size=config["shard_size"],
@@ -348,6 +453,8 @@ class Network:
             retry_backoff=config["retry_backoff"],
             executor=executor,
             lane_workers=lane_workers,
+            metrics=metrics,
+            tracer=tracer,
         )
 
     @classmethod
@@ -355,7 +462,8 @@ class Network:
                lane_workers: int | None = None, fsync: str = "commit",
                snapshot_every: int = 8, keep_snapshots: int = 3,
                crash_at_barrier: int | None = None,
-               crash_at_append: int | None = None) -> "Network":
+               crash_at_append: int | None = None,
+               metrics=None, tracer=None) -> "Network":
         """Recover a network from ``data_dir`` after a crash or clean
         shutdown.
 
@@ -374,7 +482,9 @@ class Network:
             snap = store.load_newest()
             if snap is not None:
                 net = network_from_snapshot(snap, executor=executor,
-                                            lane_workers=lane_workers)
+                                            lane_workers=lane_workers,
+                                            metrics=metrics,
+                                            tracer=tracer)
                 start_seq = snap["wal_seq"]
             else:
                 if not wal.recovered or wal.recovered[0].type != "init":
@@ -383,7 +493,9 @@ class Network:
                         f"snapshot and no init record")
                 net = cls._from_config(wal.recovered[0].data,
                                        executor=executor,
-                                       lane_workers=lane_workers)
+                                       lane_workers=lane_workers,
+                                       metrics=metrics,
+                                       tracer=tracer)
                 start_seq = wal.recovered[0].seq
             net._replaying = True
             try:
@@ -451,6 +563,8 @@ class Network:
                       wal_tag: str = "epoch") -> FinalBlock:
         """Process one epoch; ``unlimited`` lifts the per-lane gas
         limits (used for setup epochs that must commit everything).
+        Wraps :meth:`_process_epoch` in the ``epoch`` root span and the
+        ``net.epoch_ns`` wall-time histogram.
 
         An epoch only commits as a whole (the FinalBlock is the commit
         point).  If the DS committee discovers a faulty lane mid-epoch
@@ -465,6 +579,16 @@ class Network:
         point replays this epoch from its durable inputs; ``wal_tag``
         labels the epoch in the log (counted in ``epoch_tags``).
         """
+        if not (self.metrics.enabled or self.tracer.enabled):
+            return self._process_epoch(txns, unlimited, wal_tag)
+        t0 = time.perf_counter_ns()
+        with self.tracer.span(f"epoch {self.epoch + 1}"):
+            block = self._process_epoch(txns, unlimited, wal_tag)
+        self._meters.epoch_ns.observe(time.perf_counter_ns() - t0)
+        return block
+
+    def _process_epoch(self, txns: list[Transaction], unlimited: bool,
+                       wal_tag: str) -> FinalBlock:
         # The WAL barrier here is the durability point of the epoch:
         # once it returns, the epoch's inputs survive any crash.
         self._wal_append("epoch", {
@@ -554,6 +678,30 @@ class Network:
             sum(mb.n_committed for mb in outcome.microblocks) + \
             sum(1 for r in outcome.ds_block.receipts if r.success)
         stats.failed = len(incoming) - stats.committed - carried
+
+        # Telemetry is recorded from the *surviving* attempt only —
+        # discarded view-change attempts were rolled back (including
+        # their lane counters, via NetworkCheckpoint) — so every value
+        # here is a pure function of the submitted workload.
+        meters = self._meters
+        meters.epochs.inc()
+        meters.tx_dispatched.inc(stats.dispatched)
+        meters.tx_committed.inc(stats.committed)
+        meters.tx_failed.inc(stats.failed)
+        meters.tx_deferred.inc(stats.deferred)
+        meters.tx_carried.inc(carried)
+        meters.tx_to_ds.inc(stats.to_ds)
+        meters.tx_recovered.inc(stats.recovered)
+        meters.tx_reexecuted.inc(stats.reexecuted)
+        meters.tx_dead_lettered.inc(stats.dead_lettered)
+        meters.view_changes.inc(stats.view_changes)
+        meters.rejected_deltas.inc(stats.rejected_deltas)
+        meters.merge_deltas.inc(sum(len(mb.deltas)
+                                    for mb in outcome.microblocks))
+        meters.merge_locations.inc(outcome.merged_locations)
+        meters.backlog_size.set(len(self.backlog))
+        meters.dead_letter_size.set(len(self.dead_letter))
+
         block = FinalBlock(
             epoch=self.epoch,
             microblocks=outcome.microblocks,
@@ -610,18 +758,19 @@ class Network:
         # would reject the lower nonces.
         ds_queue: list[Transaction] = []
         recovered: list[Transaction] = []
-        for tx in incoming:
-            decision = self.dispatcher.dispatch(tx)
-            if decision.is_ds:
-                ds_queue.append(tx)
-                stats.to_ds += 1
-            else:
-                queues[decision.shard].append(tx)
-                stats.per_shard[decision.shard] = \
-                    stats.per_shard.get(decision.shard, 0) + 1
-                if decision.shard in excluded:
+        with self.tracer.span("dispatch"):
+            for tx in incoming:
+                decision = self.dispatcher.dispatch(tx)
+                if decision.is_ds:
                     ds_queue.append(tx)
-                    recovered.append(tx)
+                    stats.to_ds += 1
+                else:
+                    queues[decision.shard].append(tx)
+                    stats.per_shard[decision.shard] = \
+                        stats.per_shard.get(decision.shard, 0) + 1
+                    if decision.shard in excluded:
+                        ds_queue.append(tx)
+                        recovered.append(tx)
 
         mb_faults = (injector.microblock_faults(self.epoch)
                      if injector else {})
@@ -640,14 +789,19 @@ class Network:
         strategy = self._lane_strategy(runnable, queues)
         lane_results: dict[int, LaneResult] = {}
         if strategy != "serial":
-            parallel = run_lanes(self, [(s, queues[s]) for s in runnable],
-                                 shard_limit, strategy)
+            with self.tracer.span("lanes"):
+                parallel = run_lanes(self,
+                                     [(s, queues[s]) for s in runnable],
+                                     shard_limit, strategy)
             if parallel is None:
                 self.executor_fallbacks += 1  # pool failure: run serially
+                self._meters.executor_fallbacks.inc()
             else:
                 lane_results = parallel
+                self._meters.parallel_epochs.inc()
         elif self.executor != "serial":
             self.executor_fallbacks += 1
+            self._meters.executor_fallbacks.inc()
 
         microblocks: list[MicroBlock] = []
         shard_exec_times: list[float] = []
@@ -673,8 +827,9 @@ class Network:
                 lane_balance = lane_result.balance_deltas
                 lane_deferred = lane_result.deferred
             else:
-                mb, local_states, touched, lane_deferred = self._run_lane(
-                    shard, queue, shard_limit)
+                with self.tracer.span(f"lane {shard}"):
+                    mb, local_states, touched, lane_deferred = \
+                        self._run_lane(shard, queue, shard_limit)
                 lane_deltas = []
                 lane_balance = {}
                 for addr, local in local_states.items():
@@ -708,7 +863,12 @@ class Network:
                 # An isolated lane's gas charges, credits and nonce
                 # commitments land here, in shard order — the same
                 # totals the serial loop produced by mutating in place.
+                # So does its telemetry: the worker recorded lane.*
+                # into a private registry, folded in additively at the
+                # exact point the serial loop would have recorded it.
                 lane_result.apply_effects(self)
+                if lane_result.metrics is not None:
+                    self.metrics.merge_snapshot(lane_result.metrics)
             stats.deferred += len(lane_deferred)
             deferred.extend((shard, tx) for tx in lane_deferred)
             microblocks.append(mb)
@@ -727,23 +887,28 @@ class Network:
                                  newly_faulty, rejected)
 
         # Phase 2: DS merges shard deltas (FSD).
+        t_merge = time.perf_counter_ns() if self.metrics.enabled else 0
         merged_locations = 0
-        for addr, deltas in all_deltas.items():
-            merged, changed = merge_deltas(self.contracts[addr].state,
-                                           deltas)
-            self.contracts[addr].state = merged
-            merged_locations += changed
-        for addr, bdelta in balance_deltas.items():
-            if bdelta:
-                self.contracts[addr].state.balance += bdelta
-                merged_locations += 1
+        with self.tracer.span("merge"):
+            for addr, deltas in all_deltas.items():
+                merged, changed = merge_deltas(self.contracts[addr].state,
+                                               deltas)
+                self.contracts[addr].state = merged
+                merged_locations += changed
+            for addr, bdelta in balance_deltas.items():
+                if bdelta:
+                    self.contracts[addr].state.balance += bdelta
+                    merged_locations += 1
+        if self.metrics.enabled:
+            self._meters.merge_ns.observe(time.perf_counter_ns() - t_merge)
 
         # Phase 3: DS executes the potentially-conflicting transactions
         # directly on the merged global state, plus the queues of every
         # excluded lane (the recovery path of the view change).
         recovered_ids = {tx.tx_id for tx in recovered}
-        ds_block, _, _, ds_deferred = self._run_lane(
-            DS, ds_queue, ds_limit, use_global_state=True)
+        with self.tracer.span("ds lane"):
+            ds_block, _, _, ds_deferred = self._run_lane(
+                DS, ds_queue, ds_limit, use_global_state=True)
         stats.deferred += len(ds_deferred)
         deferred.extend((DS, tx) for tx in ds_deferred)
         stats.recovered = len(recovered)
@@ -801,6 +966,8 @@ class Network:
                 local_states[addr] = self.contracts[addr].state.copy()
             return local_states[addr]
 
+        meters = self._meters
+        t0 = time.perf_counter_ns() if self.metrics.enabled else 0
         deferred: list[Transaction] = []
         for position, tx in enumerate(queue):
             if mb.gas_used >= gas_limit:
@@ -809,6 +976,13 @@ class Network:
             receipt = self._execute(tx, lane, state_for, touched)
             mb.receipts.append(receipt)
             mb.gas_used += receipt.gas_used
+            meters.lane_tx_executed.inc()
+            (meters.lane_tx_ok if receipt.success
+             else meters.lane_tx_failed).inc()
+            meters.lane_gas.inc(receipt.gas_used)
+            meters.lane_gas_per_tx.observe(receipt.gas_used)
+        if self.metrics.enabled:
+            meters.lane_exec_ns.observe(time.perf_counter_ns() - t0)
         return mb, local_states, touched, deferred
 
     def _execute(self, tx: Transaction, lane: int, state_for,

@@ -141,10 +141,16 @@ class NetworkCheckpoint:
     dead_letter: list = dc_field(default_factory=list)
     executor_fallbacks: int = 0
     executor_fallback_details: list = dc_field(default_factory=list)
+    # Telemetry snapshot (None with a disabled registry): lane counters
+    # recorded by a discarded attempt roll back with everything else,
+    # keeping the committed totals executor-independent.
+    metrics: dict | None = None
 
     @classmethod
     def take(cls, net) -> "NetworkCheckpoint":
         return cls(
+            metrics=(net.metrics.snapshot()
+                     if net.metrics.enabled else None),
             epoch=net.epoch,
             states={addr: c.state.copy()
                     for addr, c in net.contracts.items()},
@@ -179,6 +185,8 @@ class NetworkCheckpoint:
         net.executor_fallbacks = self.executor_fallbacks
         net.executor_fallback_details = \
             list(self.executor_fallback_details)
+        if self.metrics is not None:
+            net.metrics.reset_to(self.metrics)
 
 
 # --------------------------------------------------------------------------

@@ -87,6 +87,11 @@ def snapshot_network(net, wal_seq: int) -> Any:
         },
         "executor_fallback_details": list(net.executor_fallback_details),
         "notes": list(net.wal_notes),
+        # Telemetry travels with the snapshot so a resumed network's
+        # counters continue from the crash point: replay re-records
+        # only the epochs past the snapshot (None when disabled).
+        "metrics": (net.metrics.snapshot()
+                    if net.metrics.enabled else None),
     }
     if net.injector is not None:
         obj["injector"] = {
@@ -99,7 +104,8 @@ def snapshot_network(net, wal_seq: int) -> Any:
 
 
 def network_from_snapshot(obj: Any, executor: str | None = None,
-                          lane_workers: int | None = None):
+                          lane_workers: int | None = None,
+                          metrics=None, tracer=None):
     """Rebuild a live (non-durable) Network from a snapshot object.
 
     Contract runtimes are rebuilt from source through the cached
@@ -115,8 +121,11 @@ def network_from_snapshot(obj: Any, executor: str | None = None,
         raise SnapshotError(
             f"unsupported snapshot version {obj.get('version')!r}")
     net = Network._from_config(obj["config"], executor=executor,
-                               lane_workers=lane_workers)
+                               lane_workers=lane_workers,
+                               metrics=metrics, tracer=tracer)
     net.epoch = obj["epoch"]
+    if net.metrics.enabled and obj.get("metrics") is not None:
+        net.metrics.reset_to(obj["metrics"])
     for addr, payload in obj["contracts"].items():
         result = run_pipeline_cached(payload["source"], addr)
         state = state_from_obj(payload["state"])

@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``):
     repro corpus                                    list corpus contracts
     repro bench     fig1|fig12|fig13|fig14|table|overheads|ablation|parallel
     repro chaos     [--seed N --epochs E]           fault-injection run
+    repro metrics   [--workload W --json|--prom]    instrumented run
     repro run       --data-dir D [--workload W]     durable workload run
     repro resume    --data-dir D [--workload W]     continue a durable run
     repro torture   [--workload W | --all]          kill-and-resume proof
@@ -185,6 +186,23 @@ def cmd_chaos(args) -> int:
     return 0 if (result.churn or result.consistent) else 1
 
 
+def cmd_metrics(args) -> int:
+    from .eval.telemetry import format_telemetry, run_instrumented
+    run = run_instrumented(
+        workload=args.workload, epochs=args.epochs,
+        txns_per_epoch=args.txns, n_users=args.users,
+        n_shards=args.shards, executor=args.executor or "serial",
+        seed=args.seed, trace=args.trace and not (args.json or args.prom))
+    if args.json:
+        print(run.registry.to_json(
+            deterministic_only=args.deterministic_only))
+    elif args.prom:
+        sys.stdout.write(run.registry.to_prometheus())
+    else:
+        print(format_telemetry(run))
+    return 0
+
+
 def _run_durable_cmd(args, require_existing: bool) -> int:
     import json as json_mod
 
@@ -315,6 +333,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "transactions (disables the equivalence "
                         "verdict)")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and print the telemetry it "
+             "recorded (text, --json, or Prometheus exposition)")
+    p.add_argument("--workload", default="FT transfer",
+                   help="workload name as in `repro bench fig14`")
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--users", type=int, default=48)
+    p.add_argument("--txns", type=int, default=60,
+                   help="transactions per epoch")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--executor", default=None,
+                   choices=["serial", "thread", "process"])
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="registry snapshot as JSON")
+    fmt.add_argument("--prom", action="store_true",
+                     help="Prometheus text exposition format")
+    p.add_argument("--deterministic-only", action="store_true",
+                   help="restrict --json to the reproducible subset")
+    p.add_argument("--trace", action="store_true",
+                   help="also print the epoch span tree (text mode)")
+    p.set_defaults(func=cmd_metrics)
 
     def add_durable_args(p, with_crash_hooks: bool) -> None:
         p.add_argument("--data-dir", required=True,

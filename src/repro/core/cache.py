@@ -27,6 +27,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..obs.metrics import NS_BUCKETS, NULL_REGISTRY
+
 # Bump on any change to parsing, type checking, or the sharding
 # analysis that can alter a DeploymentResult.  Folded into every cache
 # key, so old entries become unreachable immediately.
@@ -60,16 +62,36 @@ class SummaryCache:
     ``None`` disables the bound.  All operations are protected by one
     reentrant lock, and the pipeline itself runs *under* the lock so a
     burst of identical requests performs exactly one analysis.
+
+    ``metrics`` optionally attaches a
+    :class:`~repro.obs.metrics.MetricsRegistry`: hits, misses and
+    evictions then also land in ``pipeline.cache.*`` counters, and
+    each actual pipeline run contributes its per-phase wall time to
+    the ``pipeline.{parse,typecheck,analysis}_ns`` histograms.  With
+    no registry the instrument handles are shared no-ops.
     """
 
     def __init__(self, maxsize: int | None = 512,
-                 version: str = ANALYSIS_VERSION):
+                 version: str = ANALYSIS_VERSION, metrics=None):
         self.maxsize = maxsize
         self.version = version
         self.stats = CacheStats()
         self._lock = threading.RLock()
         # key -> (version, DeploymentResult); ordered for LRU.
         self._entries: OrderedDict[str, tuple[str, object]] = OrderedDict()
+        m = NULL_REGISTRY if metrics is None else metrics
+        self._m_hits = m.counter("pipeline.cache.hits")
+        self._m_misses = m.counter("pipeline.cache.misses")
+        self._m_evictions = m.counter("pipeline.cache.evictions",
+                                      deterministic=False)
+        self._m_runs = m.counter("pipeline.runs")
+        # Durations are wall-clock, hence never deterministic.
+        self._m_parse_ns = m.histogram("pipeline.parse_ns", NS_BUCKETS,
+                                       deterministic=False)
+        self._m_typecheck_ns = m.histogram("pipeline.typecheck_ns",
+                                           NS_BUCKETS, deterministic=False)
+        self._m_analysis_ns = m.histogram("pipeline.analysis_ns",
+                                          NS_BUCKETS, deterministic=False)
 
     # -- keys -----------------------------------------------------------------
 
@@ -97,9 +119,11 @@ class SummaryCache:
             entry = self._entries.get(key)
             if entry is None or entry[0] != self.version:
                 self.stats.misses += 1
+                self._m_misses.inc()
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._m_hits.inc()
             return entry[1]
 
     def put(self, source: str, result, with_analysis: bool = True) -> None:
@@ -126,12 +150,23 @@ class SummaryCache:
             if entry is not None and entry[0] == self.version:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                self._m_hits.inc()
                 return entry[1]
             self.stats.misses += 1
+            self._m_misses.inc()
             result = run_pipeline(source, name, with_analysis)
+            self._observe_run(result)
             self._entries[key] = (self.version, result)
             self._evict()
             return result
+
+    def _observe_run(self, result) -> None:
+        """Record one actual pipeline run's per-phase wall times."""
+        self._m_runs.inc()
+        timings = result.timings
+        self._m_parse_ns.observe(timings.parse * 1e9)
+        self._m_typecheck_ns.observe(timings.typecheck * 1e9)
+        self._m_analysis_ns.observe(timings.analysis * 1e9)
 
     # -- maintenance ----------------------------------------------------------
 
@@ -163,6 +198,7 @@ class SummaryCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._m_evictions.inc()
 
     def __len__(self) -> int:
         with self._lock:

@@ -23,6 +23,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field as dc_field
 
+from ..obs.metrics import NS_BUCKETS, NULL_REGISTRY
 from .cache import CacheStats, GLOBAL_CACHE, SummaryCache
 from .pipeline import DeploymentResult
 
@@ -129,7 +130,8 @@ def analyze_corpus(sources: dict[str, str],
                    workers: int | None = None,
                    executor: str = "process",
                    cache: SummaryCache | None = None,
-                   with_analysis: bool = True) -> CorpusAnalysis:
+                   with_analysis: bool = True,
+                   metrics=None) -> CorpusAnalysis:
     """Run the deployment pipeline over many contracts concurrently.
 
     ``sources`` maps contract names to source text.  The front cache
@@ -141,12 +143,24 @@ def analyze_corpus(sources: dict[str, str],
     ``"thread"`` (useful when results must share object identity with
     the caller), or ``"serial"``.  Pool failures (e.g. an unpicklable
     result) degrade to a serial run rather than raising.
+
+    ``metrics`` optionally records ``corpus.*`` telemetry into a
+    :class:`~repro.obs.metrics.MetricsRegistry`: contracts requested,
+    front-cache hits, actual pipeline runs, pool fallbacks, and the
+    sweep's wall time.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; "
                          f"expected one of {EXECUTORS}")
     cache = GLOBAL_CACHE if cache is None else cache
     workers = workers or default_workers()
+    m = NULL_REGISTRY if metrics is None else metrics
+    m_requested = m.counter("corpus.requested")
+    m_front_hits = m.counter("corpus.front_cache_hits")
+    m_runs = m.counter("corpus.pipeline_runs")
+    m_fallbacks = m.counter("corpus.pool_fallbacks", deterministic=False)
+    m_wall = m.histogram("corpus.wall_ns", NS_BUCKETS,
+                         deterministic=False)
     t0 = time.perf_counter()
     out = CorpusAnalysis(workers=workers, executor=executor)
 
@@ -190,4 +204,10 @@ def analyze_corpus(sources: dict[str, str],
     out.analyzed = len(misses)
     out.wall_s = time.perf_counter() - t0
     out.cache_stats = cache.stats.snapshot()
+    m_requested.inc(len(sources))
+    m_front_hits.inc(len(sources) - sum(len(n) for n in misses.values()))
+    m_runs.inc(len(misses))
+    if out.fell_back:
+        m_fallbacks.inc()
+    m_wall.observe(out.wall_s * 1e9)
     return out

@@ -13,13 +13,14 @@ SummaryCache hit rates, written to ``BENCH_parallel.json``.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field as dc_field
 
 from ..contracts import CORPUS
 from ..core.cache import ANALYSIS_VERSION, SummaryCache
 from ..core.parallel import analyze_corpus, default_workers
 from ..core.pipeline import run_pipeline
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 
 
 @dataclass
@@ -151,28 +152,36 @@ def run_parallel_bench(workers: int | None = None,
     hit counts come from a third pass that replays the whole corpus
     against the now-warm cache — the miner's steady state, where every
     repeat deployment and signature validation is a hit.
+
+    All numbers are read back from ``repro.obs`` telemetry — serial
+    wall time from tracer spans, parallel wall time and pool fallbacks
+    from ``corpus.*`` instruments, hit rates from the warm cache's
+    ``pipeline.cache.*`` counters — so the benchmark doubles as an
+    end-to-end check of the observability layer.
     """
     contracts = contracts if contracts is not None else CORPUS
 
-    serial_s = 0.0
+    tracer = Tracer()
     for _ in range(repetitions):
-        t0 = time.perf_counter()
-        for name, source in contracts.items():
-            run_pipeline(source, name)
-        serial_s += time.perf_counter() - t0
+        with tracer.span("serial corpus pass"):
+            for name, source in contracts.items():
+                run_pipeline(source, name)
+    serial_s = sum(root.duration_ns for root in tracer.roots) / 1e9
 
-    parallel_s = 0.0
-    fell_back = False
+    sweep_registry = MetricsRegistry()
     for _ in range(repetitions):
-        run = analyze_corpus(contracts, workers=workers, executor=executor,
-                             cache=SummaryCache())
-        parallel_s += run.wall_s
-        fell_back = fell_back or run.fell_back
+        analyze_corpus(contracts, workers=workers, executor=executor,
+                       cache=SummaryCache(), metrics=sweep_registry)
+    sweep = sweep_registry.snapshot()
+    parallel_s = sweep["histograms"]["corpus.wall_ns"]["sum"] / 1e9
+    fell_back = sweep["counters"]["corpus.pool_fallbacks"]["value"] > 0
 
-    warm = SummaryCache()
-    analyze_corpus(contracts, workers=workers, executor="serial", cache=warm)
-    replay = analyze_corpus(contracts, workers=workers, executor="serial",
-                            cache=warm)
+    cache_registry = MetricsRegistry()
+    warm = SummaryCache(metrics=cache_registry)
+    for _ in range(2):  # cold fill, then the steady-state replay
+        analyze_corpus(contracts, workers=workers, executor="serial",
+                       cache=warm)
+    cache_counters = cache_registry.snapshot()["counters"]
 
     return ParallelBenchResult(
         workers=workers or default_workers(),
@@ -180,8 +189,8 @@ def run_parallel_bench(workers: int | None = None,
         n_contracts=len(contracts),
         serial_s=serial_s,
         parallel_s=parallel_s,
-        cache_hits=replay.cache_stats.hits,
-        cache_misses=replay.cache_stats.misses,
+        cache_hits=cache_counters["pipeline.cache.hits"]["value"],
+        cache_misses=cache_counters["pipeline.cache.misses"]["value"],
         executor=executor,
         fell_back=fell_back,
     )

@@ -31,6 +31,7 @@ from pathlib import Path
 from ..chain.faults import FaultPlan
 from ..chain.network import Network
 from ..chain.recovery import network_fingerprint
+from ..obs.metrics import MetricsRegistry
 from ..chain.store import SNAPSHOT_PREFIX
 from ..chain.wal import SEGMENT_PREFIX
 from ..workloads.generators import Workload, workload_by_name
@@ -56,6 +57,10 @@ class ChaosResult:
     dropped_txns: int = 0
     dead_lettered: int = 0
     churn: bool = False
+    # Registry snapshots of the two runs (repro.obs) — the recovery
+    # counters the report prints, machine-readable.
+    baseline_metrics: dict = dc_field(default_factory=dict)
+    faulty_metrics: dict = dc_field(default_factory=dict)
 
     @property
     def consistent(self) -> bool:
@@ -77,8 +82,10 @@ class ChaosResult:
 
 
 def _run(workload: Workload, epochs: int,
-         plan: FaultPlan | None, shards: int) -> Network:
-    net = Network(shards, carry_backlog=True, fault_plan=plan)
+         plan: FaultPlan | None, shards: int,
+         metrics: MetricsRegistry | None = None) -> Network:
+    net = Network(shards, carry_backlog=True, fault_plan=plan,
+                  metrics=metrics)
     workload.setup(net)
     for epoch in range(epochs):
         net.process_epoch(workload.transactions(epoch))
@@ -103,10 +110,11 @@ def run_chaos(seed: int = 0, epochs: int = 5, shards: int = 4,
         seed, epochs=epochs + 2, n_shards=shards,
         churn_rate=0.25 if churn else 0.0)
 
+    baseline_reg, faulty_reg = MetricsRegistry(), MetricsRegistry()
     baseline = _run(cls(n_users=users, txns_per_epoch=txns, seed=seed),
-                    epochs, None, shards)
+                    epochs, None, shards, metrics=baseline_reg)
     faulty = _run(cls(n_users=users, txns_per_epoch=txns, seed=seed),
-                  epochs, plan, shards)
+                  epochs, plan, shards, metrics=faulty_reg)
 
     result = ChaosResult(
         seed=seed, epochs=epochs, shards=shards, workload=workload,
@@ -114,6 +122,8 @@ def run_chaos(seed: int = 0, epochs: int = 5, shards: int = 4,
         baseline_fp=network_fingerprint(baseline),
         faulty_fp=network_fingerprint(faulty),
         churn=churn,
+        baseline_metrics=baseline_reg.snapshot(),
+        faulty_metrics=faulty_reg.snapshot(),
     )
     for block in faulty.blocks:
         stats = block.stats
@@ -154,6 +164,17 @@ def format_chaos_report(result: ChaosResult) -> str:
         f"totals: {result.injected} tamperings injected, "
         f"{result.skipped} skipped, {result.dropped_txns} transactions "
         f"dropped by churn, {result.dead_lettered} dead-lettered")
+    if result.faulty_metrics:
+        base = result.baseline_metrics.get("counters", {})
+        faulty = result.faulty_metrics.get("counters", {})
+        lines.append("")
+        lines.append("telemetry (faulty run, fault-free in parens):")
+        for name in ("net.tx.committed", "net.view_changes",
+                     "net.rejected_deltas", "net.tx.recovered",
+                     "net.tx.reexecuted", "net.tx.dead_lettered"):
+            b = base.get(name, {}).get("value", 0)
+            f = faulty.get(name, {}).get("value", 0)
+            lines.append(f"  {name:24s} {f:>8d}  ({b})")
     lines.append(f"consistency: {result.verdict}")
     return "\n".join(lines)
 
@@ -194,7 +215,9 @@ def run_durable(workload: str = "FT transfer", *,
                 snapshot_every: int = 4, keep_snapshots: int = 3,
                 crash_at_barrier: int | None = None,
                 crash_at_append: int | None = None,
-                require_existing: bool = False) -> DurableRunResult:
+                require_existing: bool = False,
+                metrics: MetricsRegistry | None = None
+                ) -> DurableRunResult:
     """Run (or continue) one workload with WAL-backed durability.
 
     If ``data_dir`` already holds a log, the run resumes from it and
@@ -223,7 +246,8 @@ def run_durable(workload: str = "FT transfer", *,
                              snapshot_every=snapshot_every,
                              keep_snapshots=keep_snapshots,
                              crash_at_barrier=crash_at_barrier,
-                             crash_at_append=crash_at_append)
+                             crash_at_append=crash_at_append,
+                             metrics=metrics)
         found_meta = next((n for n in net.wal_notes
                            if isinstance(n, dict)
                            and n.get("kind") == "meta"), None)
@@ -260,7 +284,8 @@ def run_durable(workload: str = "FT transfer", *,
                       fsync=fsync, snapshot_every=snapshot_every,
                       keep_snapshots=keep_snapshots,
                       crash_at_barrier=crash_at_barrier,
-                      crash_at_append=crash_at_append)
+                      crash_at_append=crash_at_append,
+                      metrics=metrics)
         net.wal_note(meta)
         w.setup(net)
         net.wal_note({"kind": "setup-complete"})

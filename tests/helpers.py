@@ -1,0 +1,17 @@
+"""Shared test utilities (imported as ``from .helpers import ...``)."""
+
+import random
+
+
+def mutate_one_char(source: str, seed: int) -> str:
+    """Deterministically replace exactly one character of ``source``.
+
+    Used by the parser fuzz tests (a one-character mutation must never
+    crash the parser) and by the summary-cache tests (it must change
+    the cache's content address).
+    """
+    rng = random.Random(seed)
+    i = rng.randrange(len(source))
+    alphabet = "abcxyzXYZ01239_;()="
+    replacement = rng.choice([c for c in alphabet if c != source[i]])
+    return source[:i] + replacement + source[i + 1:]

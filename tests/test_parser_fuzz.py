@@ -1,8 +1,6 @@
 """Parser robustness: arbitrary input must raise clean errors, never
 crash, and valid modules must survive whitespace/comment mutations."""
 
-import random
-
 import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
@@ -12,18 +10,7 @@ from repro.scilla.errors import LexError, ParseError
 from repro.scilla.lexer import tokenize
 from repro.scilla.parser import parse_expression, parse_module
 
-
-def mutate_one_char(source: str, seed: int) -> str:
-    """Deterministically replace exactly one character of ``source``.
-
-    Shared with ``tests/test_summary_cache.py``, where a one-character
-    mutation must change the cache's content address.
-    """
-    rng = random.Random(seed)
-    i = rng.randrange(len(source))
-    alphabet = "abcxyzXYZ01239_;()="
-    replacement = rng.choice([c for c in alphabet if c != source[i]])
-    return source[:i] + replacement + source[i + 1:]
+from .helpers import mutate_one_char
 
 
 @settings(max_examples=200, deadline=None)

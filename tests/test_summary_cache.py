@@ -14,7 +14,7 @@ from repro.contracts import CORPUS
 from repro.core.cache import ANALYSIS_VERSION, GLOBAL_CACHE, SummaryCache
 from repro.core.pipeline import run_pipeline, run_pipeline_cached
 
-from .test_parser_fuzz import mutate_one_char
+from .helpers import mutate_one_char
 
 SOURCE = CORPUS["FungibleToken"]
 
