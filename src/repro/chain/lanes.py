@@ -42,11 +42,18 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field as dc_field
 
+from ..core.domain import ConstKey, Key, ParamKey
+from ..scilla import types as ty
 from ..scilla.ast import Module
+from ..scilla.errors import EvalError
 from ..scilla.interpreter import Interpreter
 from ..scilla.state import ContractState
+from ..scilla.values import (
+    BNumVal, ByStrVal, IntVal, MapVal, StringVal, Value,
+)
 from .blocks import MicroBlock
 from .delta import StateDelta, compute_delta
+from .dispatch import _pad, key_token
 from .transaction import Account, Transaction
 
 
@@ -59,6 +66,17 @@ class LaneContractPayload:
     module: Module | None            # None when the source ships instead
     state: ContractState             # epoch-start state (private copy)
     signature: object | None         # ShardingSignature (carries joins)
+    # Slicing plan the state was built under (None = the full state
+    # shipped).  Per field: ``None`` means the whole field shipped;
+    # a frozenset of first-key tokens means only those top-level map
+    # entries (and their subtrees) shipped.  The worker checks every
+    # touched location against this plan — a location outside it is a
+    # *footprint escape* and discards the whole parallel attempt.
+    shipped: dict[str, frozenset[str] | None] | None = None
+    # True for contracts none of this lane's transactions target: only
+    # the address needs to exist (payment-to-contract rejection and the
+    # no-cross-contract-calls check), so an empty state ships.
+    stub: bool = False
 
 
 @dataclass
@@ -115,6 +133,11 @@ class LaneResult:
     # the lane's other effects, in shard order, so merged counters are
     # identical to what the serial loop records inline.
     metrics: dict | None = None
+    # Locations the lane touched outside its shipped slice (sound
+    # analysis makes this empty; a non-empty list is defence in depth —
+    # the coordinator discards every lane result and redoes the epoch
+    # serially, so a slicing bug degrades performance, never results).
+    footprint_escapes: list[str] = dc_field(default_factory=list)
 
     def apply_effects(self, net) -> None:
         """Merge this lane's account/nonce effects into the network.
@@ -141,6 +164,157 @@ class LaneResult:
 
 
 # --------------------------------------------------------------------------
+# Footprint-sliced payloads (main process).
+# --------------------------------------------------------------------------
+
+def transition_footprints(summaries) -> dict[str, tuple | None]:
+    """Per-transition state footprints, computed once at deploy time.
+
+    Uses the *raw* analysis summaries (reads ∪ writes), not the
+    derived signature constraints — the signature prunes constant-field
+    reads and commutative writes, but slicing must cover every location
+    a transition may touch.  ``None`` marks an unsummarisable (⊤)
+    transition: the analysis cannot bound its accesses, so payloads
+    ship the full state whenever one is dispatched.
+    """
+    out: dict[str, tuple | None] = {}
+    for name, summary in summaries.items():
+        if summary.has_top:
+            out[name] = None
+        else:
+            pfs = [e.pf for e in summary.reads()]
+            pfs += [e.pf for e in summary.writes()]
+            out[name] = tuple(dict.fromkeys(pfs))
+    return out
+
+
+def _value_from_token(token: str) -> Value | None:
+    """Rebuild a runtime value from a ``key_token`` literal (the
+    constant-key format of the analysis).  ADT tokens are not
+    round-tripped — the caller falls back to shipping the whole field.
+    """
+    kind, sep, payload = token.partition("|")
+    if not sep:
+        return None
+    try:
+        if kind.startswith(("Int", "Uint")):
+            return IntVal(int(payload), ty.PrimType(kind))
+        if kind == "String":
+            return StringVal(payload)
+        if kind.startswith("ByStr"):
+            return ByStrVal(payload, ty.PrimType(kind))
+        if kind == "BNum":
+            return BNumVal(int(payload))
+    except (ValueError, EvalError):
+        return None
+    return None
+
+
+def _resolve_key_value(key: Key, tx: Transaction,
+                       deployed) -> Value | None:
+    """The concrete runtime value a symbolic footprint key takes for
+    ``tx`` — the same resolution the dispatcher performs for ownership
+    constraints (``Dispatcher._resolve_key``), but returning the value
+    itself so sliced entries are selected by O(1) dict lookup."""
+    if isinstance(key, ParamKey):
+        if key.name in ("_sender", "_origin"):
+            return ByStrVal(_pad(tx.sender), ty.BYSTR20)
+        return tx.args_dict().get(key.name)
+    assert isinstance(key, ConstKey)
+    if key.repr.startswith("cparam:"):
+        return deployed.immutables.get(key.repr.removeprefix("cparam:"))
+    if key.repr == "_this_address":
+        return ByStrVal(_pad(deployed.address), ty.BYSTR20)
+    return _value_from_token(key.repr)
+
+
+def _payload_plan(net, c, txs: list[Transaction]
+                  ) -> dict[str, set[Value] | None] | None:
+    """The slicing plan for one contract in one lane: field name →
+    ``None`` (ship whole) or the set of first-key values whose
+    top-level entries (with their subtrees) must ship.  Fields absent
+    from the plan are not needed at all.  Returns ``None`` when the
+    whole state must ship (no usable footprints, or a dispatched
+    transition is unsummarisable)."""
+    if c.footprints is None or c.signature is None \
+            or not net.use_signatures:
+        return None
+    deployed = net.dispatcher.contracts.get(_pad(c.address))
+    if deployed is None:
+        return None
+    plan: dict[str, set[Value] | None] = {}
+    for tx in txs:
+        pfs = c.footprints.get(tx.transition or "")
+        if pfs is None:    # unknown transition or ⊤ summary
+            return None
+        for pf in pfs:
+            if plan.get(pf.field, ()) is None:
+                continue   # already shipping the whole field
+            if pf.is_whole_field:
+                plan[pf.field] = None
+                continue
+            value = _resolve_key_value(pf.keys[0], tx, deployed)
+            if value is None:
+                plan[pf.field] = None    # unresolvable: be conservative
+            else:
+                plan.setdefault(pf.field, set()).add(value)
+    return plan
+
+
+def _sliced_state(state: ContractState,
+                  plan: dict[str, set[Value] | None]
+                  ) -> tuple[ContractState, dict[str, frozenset[str] | None],
+                             int]:
+    """Build the payload state for a plan, plus the ``shipped`` spec
+    the worker checks escapes against and the count of shipped map
+    entries.  Non-map fields always ship whole (they are one value);
+    map fields ship fully (CoW fork), sliced to the planned first-key
+    entries, or empty when no dispatched transition names them."""
+    fields: dict[str, Value] = {}
+    shipped: dict[str, frozenset[str] | None] = {}
+    entries = 0
+    for name, value in state.fields.items():
+        if not isinstance(value, MapVal):
+            fields[name] = value
+            shipped[name] = None
+            continue
+        keys = plan.get(name, set())
+        if keys is None:
+            fields[name] = value.copy()
+            shipped[name] = None
+            entries += len(value.entries)
+            continue
+        try:
+            tokens = frozenset(key_token(k) for k in keys)
+        except ValueError:
+            fields[name] = value.copy()
+            shipped[name] = None
+            entries += len(value.entries)
+            continue
+        sub = MapVal(value.key_type, value.value_type)
+        for k in keys:
+            v = value.entries.get(k)
+            if v is not None:
+                sub.entries[k] = v.copy() if isinstance(v, MapVal) else v
+                entries += 1
+        fields[name] = sub
+        shipped[name] = tokens
+    sliced = ContractState(state.address, fields, state.field_types,
+                           state.immutables, state.balance)
+    return sliced, shipped, entries
+
+
+def _stub_state(c) -> ContractState:
+    return ContractState(c.state.address, {}, c.state.field_types,
+                         c.state.immutables, 0)
+
+
+def _full_entries(state: ContractState) -> int:
+    return sum(len(v.entries) for v in state.fields.values()
+               if isinstance(v, MapVal))
+
+
+# --------------------------------------------------------------------------
 # Task construction (main process).
 # --------------------------------------------------------------------------
 
@@ -155,18 +329,48 @@ def build_lane_task(net, lane: int, queue: list[Transaction],
     ``ship_modules=True`` (thread executor) shares the live AST and
     the network's per-lane interpreter cache; ``False`` (process
     executor) ships source text and lets the worker's own cache
-    rebuild the runtime.  Contract states are always private copies.
+    rebuild the runtime.  Contract states are private CoW forks; with
+    ``net.slice_payloads`` they are *sliced* down to the components the
+    lane's dispatched footprints name (stubs for contracts the lane
+    never targets), so steady-state payload size tracks activity, not
+    state size.
     """
+    meters = net._meters if net.metrics.enabled else None
+    targeted: dict[str, list[Transaction]] = {}
+    for tx in queue:
+        if tx.is_contract_call:
+            targeted.setdefault(_pad(tx.to), []).append(tx)
     contracts: dict[str, LaneContractPayload] = {}
     for addr, c in net.contracts.items():
         src = getattr(c, "source", "")
-        contracts[addr] = LaneContractPayload(
+        payload = LaneContractPayload(
             source_hash=source_hash(src) if src else f"module:{id(c.module)}",
             source="" if (ship_modules or not src) else src,
             module=c.module if (ship_modules or not src) else None,
-            state=c.state.copy(),
+            state=c.state,                  # placeholder, replaced below
             signature=c.signature,
         )
+        txs = targeted.get(addr)
+        plan = None
+        if net.slice_payloads and txs is None:
+            payload.state = _stub_state(c)
+            payload.stub = True
+            payload.source = ""
+            payload.module = None
+            if meters:
+                meters.payload_states_stub.inc()
+        elif net.slice_payloads and \
+                (plan := _payload_plan(net, c, txs)) is not None:
+            payload.state, payload.shipped, n = _sliced_state(c.state, plan)
+            if meters:
+                meters.payload_states_sliced.inc()
+                meters.payload_entries.inc(n)
+        else:
+            payload.state = c.state.fork()
+            if meters:
+                meters.payload_states_full.inc()
+                meters.payload_entries.inc(_full_entries(c.state))
+        contracts[addr] = payload
     accounts = {addr: (acc.balance, dict(acc.shard_portions))
                 for addr, acc in net.accounts.items()}
     nonce_used = {s: set(v) for s, v in net.nonces.used.items()}
@@ -214,6 +418,37 @@ def _runtime_for(lane: int, payload: LaneContractPayload,
     return runtime
 
 
+def _footprint_escapes(task: LaneTask,
+                       touched: dict[str, set]) -> list[str]:
+    """Touched locations outside the shipped slice (writes of
+    successful transactions; reads are covered by the same footprints
+    by construction — the plan ships ``reads ∪ writes``)."""
+    escapes: list[str] = []
+    for addr, keys in touched.items():
+        shipped = task.contracts[addr].shipped
+        if shipped is None:
+            continue
+        for name, path in keys:
+            spec = shipped.get(name)
+            if name not in shipped:
+                escapes.append(f"{addr}: write to unshipped field "
+                               f"{name!r}")
+            elif spec is None:
+                continue
+            elif not path:
+                escapes.append(f"{addr}: whole-field write to sliced "
+                               f"field {name!r}")
+            else:
+                try:
+                    token = key_token(path[0])
+                except ValueError:
+                    token = None
+                if token is None or token not in spec:
+                    escapes.append(f"{addr}: write to {name!r} outside "
+                                   f"the shipped slice ({path[0]})")
+    return escapes
+
+
 def run_lane_task(task: LaneTask) -> LaneResult:
     """Execute one lane in complete isolation.
 
@@ -231,6 +466,12 @@ def run_lane_task(task: LaneTask) -> LaneResult:
                   metrics=registry)
     net.epoch = task.epoch
     for addr, payload in task.contracts.items():
+        if payload.stub:
+            # Only the address must exist (payment-to-contract and
+            # cross-contract-call checks); the lane never invokes it.
+            net.contracts[addr] = DeployedContract(
+                addr, None, None, payload.state, payload.signature)
+            continue
         module, interp = _runtime_for(task.lane, payload,
                                       task.runtime_cache)
         net.contracts[addr] = DeployedContract(
@@ -244,6 +485,17 @@ def run_lane_task(task: LaneTask) -> LaneResult:
 
     mb, local_states, touched, deferred = net._run_lane(
         task.lane, task.queue, task.gas_limit)
+
+    escapes = _footprint_escapes(task, touched)
+    if escapes:
+        # The lane ran against an incomplete slice, so nothing it
+        # produced can be trusted.  Report the escapes; the coordinator
+        # discards every lane result and redoes the epoch serially.
+        return LaneResult(
+            lane=task.lane, microblock=mb, deltas=[], balance_deltas={},
+            deferred=[], account_deltas={}, nonce_used_added={},
+            nonce_last_global={}, nonce_last_lane={},
+            footprint_escapes=escapes)
 
     deltas: list[StateDelta] = []
     balance_deltas: dict[str, int] = {}
@@ -311,9 +563,18 @@ def run_lanes(net, lanes: list[tuple[int, list[Transaction]]],
         tasks = [build_lane_task(net, shard, queue, gas_limit,
                                  ship_modules=ship_modules)
                  for shard, queue in lanes]
+        if net.metrics.enabled and strategy == "process":
+            import pickle
+            for task in tasks:
+                net._meters.payload_bytes.inc(len(pickle.dumps(task)))
         pool = (shared_thread_pool(net.lane_workers) if ship_modules
                 else shared_process_pool(net.lane_workers))
         results = list(pool.map(run_lane_task, tasks))
+        escapes = [e for r in results for e in r.footprint_escapes]
+        if escapes:
+            net.executor_fallback_details.append(
+                f"{strategy}: footprint escape: " + "; ".join(escapes))
+            return None
         return {r.lane: r for r in results}
     except Exception as exc:
         if strategy == "process":

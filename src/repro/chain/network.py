@@ -26,7 +26,8 @@ from ..obs.tracing import NULL_TRACER
 from ..core.signature import ShardingSignature
 from ..scilla.ast import Module
 from ..scilla.interpreter import Interpreter, TxContext
-from ..scilla.state import ContractState, StateKey
+from ..scilla.state import ContractState, StateJournal, StateKey
+from ..scilla import values as scilla_values
 from ..scilla.values import Value
 from ..scilla import types as ty
 from .blocks import FinalBlock, MicroBlock, Receipt
@@ -67,6 +68,12 @@ class DeployedContract:
     # Original source text; lets the process-pool lane executor ship
     # compact text (re-parsed once per worker) instead of pickled ASTs.
     source: str = ""
+    # transition -> tuple of PseudoFields (reads ∪ writes from the raw
+    # analysis summaries), or None for an unsummarisable (⊤)
+    # transition.  None for the whole contract when deployed without a
+    # signature.  Lane payload slicing ships only these components
+    # (repro.chain.lanes).
+    footprints: dict[str, tuple | None] | None = None
 
     @property
     def joins(self) -> dict[str, JoinKind]:
@@ -164,6 +171,28 @@ class _NetworkMeters:
                                         deterministic=False)
         self.deploy_ns = m.histogram("net.deploy_ns", NS_BUCKETS,
                                      deterministic=False)
+        # State-engine instruments (PR 5): copy-on-write and journal
+        # activity varies with executor scheduling and checkpoint
+        # lifetimes, payload shapes with the slicing toggle — all
+        # non-deterministic by design.
+        self.cow_copies = m.counter("state.cow.copies",
+                                    deterministic=False)
+        self.journal_depth = m.gauge("state.journal.depth",
+                                     deterministic=False)
+        self.checkpoint_take_ns = m.histogram(
+            "net.checkpoint.take_ns", NS_BUCKETS, deterministic=False)
+        self.checkpoint_restore_ns = m.histogram(
+            "net.checkpoint.restore_ns", NS_BUCKETS, deterministic=False)
+        self.payload_states_full = m.counter("lane.payload.states_full",
+                                             deterministic=False)
+        self.payload_states_sliced = m.counter(
+            "lane.payload.states_sliced", deterministic=False)
+        self.payload_states_stub = m.counter("lane.payload.states_stub",
+                                             deterministic=False)
+        self.payload_entries = m.counter("lane.payload.entries",
+                                         deterministic=False)
+        self.payload_bytes = m.counter("lane.payload.bytes",
+                                       deterministic=False)
 
 
 @dataclass
@@ -200,6 +229,7 @@ class Network:
                  keep_snapshots: int = 3,
                  crash_at_barrier: int | None = None,
                  crash_at_append: int | None = None,
+                 slice_payloads: bool | None = None,
                  metrics=None,
                  tracer=None):
         self.n_shards = n_shards
@@ -208,6 +238,20 @@ class Network:
         self.use_signatures = use_signatures
         self.cost = cost_model
         self.overflow_guard = overflow_guard
+        # Footprint-sliced lane payloads (repro.chain.lanes): ship only
+        # the state components the dispatched transitions' signatures
+        # name.  A runtime choice like the executor strategy — results
+        # are byte-identical either way (tests/test_slicing_differential
+        # is the oracle) — so it is not part of the durable config.
+        if slice_payloads is None:
+            slice_payloads = \
+                os.environ.get("REPRO_SLICE_LANES", "1") != "0"
+        self.slice_payloads = slice_payloads
+        # Network-wide undo journal: every write to a globally-visible
+        # contract state records its reversal here, making checkpoints
+        # O(1) marks (repro.chain.recovery).
+        self.journal = StateJournal()
+        self._cow_copies_seen = scilla_values.COW_COPIES
         self.dispatcher = Dispatcher(n_shards, use_signatures)
         self.accounts: dict[str, Account] = {}
         self.contracts: dict[str, DeployedContract] = {}
@@ -362,8 +406,13 @@ class Network:
         elif sharded_transitions is not None and self.use_signatures:
             signature = result.signature(tuple(sorted(sharded_transitions)),
                                          weak_reads, allow_commutativity)
+        state.journal = self.journal
+        footprints = None
+        if signature is not None:
+            from .lanes import transition_footprints
+            footprints = transition_footprints(result.summaries)
         deployed = DeployedContract(address, result.module, interpreter,
-                                    state, signature, source)
+                                    state, signature, source, footprints)
         self.contracts[address] = deployed
         self.dispatcher.register_contract(DeployedSignature(
             address, signature, dict(state.immutables)))
@@ -615,31 +664,37 @@ class Network:
                 incoming = [e.tx for e in due] + incoming
 
         checkpoint = NetworkCheckpoint.take(self)
-        excluded: dict[int, str] = {}
-        if self.injector is not None:
-            for shard in self.injector.crashed_shards(self.epoch):
-                excluded[shard] = "crash"
-                fault_log.append(f"epoch {self.epoch}: shard {shard} "
-                                 f"crashed before producing a MicroBlock")
+        try:
+            excluded: dict[int, str] = {}
+            if self.injector is not None:
+                for shard in self.injector.crashed_shards(self.epoch):
+                    excluded[shard] = "crash"
+                    fault_log.append(f"epoch {self.epoch}: shard {shard} "
+                                     f"crashed before producing a "
+                                     f"MicroBlock")
 
-        attempt = 0
-        rejected_total = 0
-        while True:
-            attempt += 1
-            outcome = self._attempt_epoch(incoming, excluded,
-                                          shard_limit, ds_limit,
-                                          fault_log)
-            rejected_total += outcome.rejected_deltas
-            if not outcome.newly_faulty:
-                break
-            if attempt > self.n_shards + 1:  # cannot happen: every
-                raise RuntimeError(          # retry excludes ≥1 lane
-                    "view-change loop failed to converge")
-            excluded.update(outcome.newly_faulty)
-            checkpoint.restore(self)
-            fault_log.append(
-                f"epoch {self.epoch}: view change — retrying without "
-                f"lane(s) {sorted(outcome.newly_faulty)}")
+            attempt = 0
+            rejected_total = 0
+            while True:
+                attempt += 1
+                outcome = self._attempt_epoch(incoming, excluded,
+                                              shard_limit, ds_limit,
+                                              fault_log)
+                rejected_total += outcome.rejected_deltas
+                if not outcome.newly_faulty:
+                    break
+                if attempt > self.n_shards + 1:  # cannot happen: every
+                    raise RuntimeError(          # retry excludes ≥1 lane
+                        "view-change loop failed to converge")
+                excluded.update(outcome.newly_faulty)
+                checkpoint.restore(self)
+                fault_log.append(
+                    f"epoch {self.epoch}: view change — retrying without "
+                    f"lane(s) {sorted(outcome.newly_faulty)}")
+        finally:
+            # The epoch is the commit point: nothing restores to this
+            # checkpoint afterwards, so its journal entries may go.
+            checkpoint.release(self)
 
         stats = outcome.stats
         stats.view_changes = attempt - 1
@@ -701,6 +756,10 @@ class Network:
         meters.merge_locations.inc(outcome.merged_locations)
         meters.backlog_size.set(len(self.backlog))
         meters.dead_letter_size.set(len(self.dead_letter))
+        meters.journal_depth.set(self.journal.depth)
+        cow_now = scilla_values.COW_COPIES
+        meters.cow_copies.inc(cow_now - self._cow_copies_seen)
+        self._cow_copies_seen = cow_now
 
         block = FinalBlock(
             epoch=self.epoch,
@@ -891,9 +950,9 @@ class Network:
         merged_locations = 0
         with self.tracer.span("merge"):
             for addr, deltas in all_deltas.items():
-                merged, changed = merge_deltas(self.contracts[addr].state,
-                                               deltas)
-                self.contracts[addr].state = merged
+                contract = self.contracts[addr]
+                merged, changed = merge_deltas(contract.state, deltas)
+                self._rebind_state(contract, merged)
                 merged_locations += changed
             for addr, bdelta in balance_deltas.items():
                 if bdelta:
@@ -917,6 +976,16 @@ class Network:
         return _EpochAttempt(stats, microblocks, ds_block,
                              merged_locations, shard_exec_times,
                              deferred, newly_faulty, rejected)
+
+    def _rebind_state(self, contract: DeployedContract,
+                      new_state: ContractState) -> None:
+        """Swap a contract's globally-visible state (the FSD merge
+        produces a fresh fork).  The swap is journaled so a checkpoint
+        rollback rebinds the old state, and the new state is attached
+        to the journal so later writes keep recording."""
+        self.journal.record_rebind(contract, contract.state)
+        contract.state = new_state
+        new_state.journal = self.journal
 
     def _delta_validator(self, delta: StateDelta) -> DeltaViolation | None:
         contract = self.contracts.get(delta.contract)
@@ -963,7 +1032,7 @@ class Network:
             if use_global_state:
                 return self.contracts[addr].state
             if addr not in local_states:
-                local_states[addr] = self.contracts[addr].state.copy()
+                local_states[addr] = self.contracts[addr].state.fork()
             return local_states[addr]
 
         meters = self._meters

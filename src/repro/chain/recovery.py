@@ -4,12 +4,16 @@ and recovery bookkeeping.
 :mod:`repro.chain.faults` breaks the network; this module is how the
 network survives.  Three mechanisms, mirrored on real deployments:
 
-* **Per-epoch checkpoints** (:class:`NetworkCheckpoint`) — a snapshot
-  of every contract state, every account balance partition, and the
-  nonce tracker, taken before the shard phase.  A FinalBlock is the
-  only commit point: if the DS committee has to exclude a lane
-  mid-epoch (view change), the whole epoch attempt is rolled back to
-  the checkpoint and retried without the faulty lane.
+* **Per-epoch checkpoints** (:class:`NetworkCheckpoint`) — a *mark*
+  into the network's :class:`~repro.scilla.state.StateJournal` plus
+  cheap scalar snapshots (account partitions, nonce tracker, backlog,
+  counters), taken before the shard phase.  ``take`` is O(accounts),
+  never O(state): contract states are covered by the journal, which
+  records an undo entry per write.  A FinalBlock is the only commit
+  point: if the DS committee has to exclude a lane mid-epoch (view
+  change), the whole epoch attempt is rolled back to the checkpoint —
+  replaying the undo journal down to the mark — and retried without
+  the faulty lane.
 
 * **Delta footprint validation** (:func:`validate_delta`) — the DS
   committee checks every received StateDelta against the deployed
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field as dc_field
 
 from ..core.domain import PseudoField
@@ -121,16 +126,29 @@ def validate_delta(delta: StateDelta, contract, dispatcher
 
 @dataclass
 class NetworkCheckpoint:
-    """Everything an epoch attempt can mutate, snapshotted.
+    """Everything an epoch attempt can mutate, as a rollback point.
 
-    Restoring is idempotent and repeatable: the checkpoint keeps its
-    own private copies and hands out fresh ones on every
-    :meth:`restore`, so one checkpoint supports any number of view
-    changes within the epoch.
+    Contract states are *not* copied: ``journal_mark`` pins a position
+    in the network's :class:`~repro.scilla.state.StateJournal`, and
+    :meth:`restore` replays the undo entries recorded above it.  Only
+    the scalar bookkeeping that bypasses the journal (accounts,
+    nonces, mempool, counters, telemetry) is snapshotted eagerly.
+
+    Restoring is idempotent and repeatable: after a rollback the
+    journal head sits exactly at the mark, so one checkpoint supports
+    any number of view changes within the epoch.  :meth:`release`
+    commits past the checkpoint, letting the journal truncate —
+    ``Network._process_epoch`` releases its own checkpoint when the
+    epoch commits, while a checkpoint held externally (tests, tools)
+    keeps its entries alive until released or dropped with the
+    network.
     """
 
     epoch: int
-    states: dict[str, ContractState]
+    journal_mark: int
+    # Addresses deployed at take-time: restore drops contracts (and
+    # their dispatcher registrations) created by an aborted attempt.
+    contract_addrs: frozenset[str]
     accounts: dict[str, tuple[int, dict[int, int]]]
     nonce_used: dict[str, set[int]]
     nonce_last_global: dict[str, int]
@@ -148,12 +166,13 @@ class NetworkCheckpoint:
 
     @classmethod
     def take(cls, net) -> "NetworkCheckpoint":
-        return cls(
+        t0 = time.perf_counter_ns() if net.metrics.enabled else 0
+        checkpoint = cls(
             metrics=(net.metrics.snapshot()
                      if net.metrics.enabled else None),
             epoch=net.epoch,
-            states={addr: c.state.copy()
-                    for addr, c in net.contracts.items()},
+            journal_mark=net.journal.mark(),
+            contract_addrs=frozenset(net.contracts),
             accounts={addr: (acc.balance, dict(acc.shard_portions))
                       for addr, acc in net.accounts.items()},
             nonce_used={s: set(v) for s, v in net.nonces.used.items()},
@@ -164,10 +183,22 @@ class NetworkCheckpoint:
             executor_fallbacks=net.executor_fallbacks,
             executor_fallback_details=list(net.executor_fallback_details),
         )
+        if net.metrics.enabled:
+            net._meters.checkpoint_take_ns.observe(
+                time.perf_counter_ns() - t0)
+        return checkpoint
 
     def restore(self, net) -> None:
-        for addr, state in self.states.items():
-            net.contracts[addr].state = state.copy()
+        t0 = time.perf_counter_ns() if net.metrics.enabled else 0
+        net.journal.rollback_to(self.journal_mark)
+        # Contracts deployed after the checkpoint (e.g. during an
+        # attempt that is now being discarded) must disappear entirely:
+        # state, runtime, and their lookup-node registration.
+        for addr in [a for a in net.contracts
+                     if a not in self.contract_addrs]:
+            del net.contracts[addr]
+            net.dispatcher.contracts.pop(addr, None)
+            net.dispatcher._field_level_cache.pop(addr, None)
         # Accounts created lazily during the aborted attempt would
         # otherwise keep credits from discarded lanes.
         for addr in list(net.accounts):
@@ -187,6 +218,14 @@ class NetworkCheckpoint:
             list(self.executor_fallback_details)
         if self.metrics is not None:
             net.metrics.reset_to(self.metrics)
+        if net.metrics.enabled:
+            net._meters.checkpoint_restore_ns.observe(
+                time.perf_counter_ns() - t0)
+
+    def release(self, net) -> None:
+        """Commit past this checkpoint: the journal may truncate every
+        entry no other outstanding checkpoint still needs."""
+        net.journal.release(self.journal_mark)
 
 
 # --------------------------------------------------------------------------

@@ -126,14 +126,18 @@ def network_from_snapshot(obj: Any, executor: str | None = None,
     net.epoch = obj["epoch"]
     if net.metrics.enabled and obj.get("metrics") is not None:
         net.metrics.reset_to(obj["metrics"])
+    from .lanes import transition_footprints
     for addr, payload in obj["contracts"].items():
         result = run_pipeline_cached(payload["source"], addr)
         state = state_from_obj(payload["state"])
+        state.journal = net.journal
         signature = (signature_from_obj(payload["signature"])
                      if payload["signature"] is not None else None)
+        footprints = (transition_footprints(result.summaries)
+                      if signature is not None else None)
         net.contracts[addr] = DeployedContract(
             addr, result.module, Interpreter(result.module), state,
-            signature, payload["source"])
+            signature, payload["source"], footprints)
         net.dispatcher.register_contract(DeployedSignature(
             addr, signature, dict(state.immutables)))
     from .transaction import Account

@@ -8,7 +8,7 @@ Usage (also via ``python -m repro``):
     repro diagnose  <file|corpus:Name>              why sharding fails
     repro repair    <file|corpus:Name> [Transition] rewrite + print
     repro corpus                                    list corpus contracts
-    repro bench     fig1|fig12|fig13|fig14|table|overheads|ablation|parallel
+    repro bench     fig1|fig12|…|ablation|parallel|state  paper experiments
     repro chaos     [--seed N --epochs E]           fault-injection run
     repro metrics   [--workload W --json|--prom]    instrumented run
     repro run       --data-dir D [--workload W]     durable workload run
@@ -171,6 +171,17 @@ def cmd_bench(args) -> int:
         out = args.output or "BENCH_parallel.json"
         write_parallel_bench(result, out)
         print(f"\nwrote {out}")
+    elif target == "state":
+        from .eval.state_bench import (
+            format_state_bench, run_state_bench, write_state_bench,
+        )
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+        result = run_state_bench(sizes=sizes,
+                                 repeat=args.repetitions)
+        print(format_state_bench(result))
+        out = args.output or "BENCH_state.json"
+        write_state_bench(result, out)
+        print(f"\nwrote {out}")
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {target}")
     return 0
@@ -305,12 +316,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="regenerate a paper experiment")
     p.add_argument("experiment",
                    choices=["fig1", "fig12", "fig13", "fig14", "table",
-                            "overheads", "ablation", "parallel", "all"])
+                            "overheads", "ablation", "parallel", "state",
+                            "all"])
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for 'parallel' (default: CPUs)")
     p.add_argument("--repetitions", type=int, default=1,
-                   help="timing repetitions for 'parallel'")
+                   help="timing repetitions for 'parallel'/'state'")
+    p.add_argument("--sizes", default="1000,10000,100000",
+                   help="comma-separated map sizes for 'state'")
     p.add_argument("--output", default=None,
                    help="write the report to this file (with 'all' "
                         "or 'parallel')")

@@ -1,0 +1,198 @@
+"""State-engine microbenchmarks (``repro bench state``).
+
+Measures the copy-on-write state engine against the deep-copy baseline
+it replaced (the seed's ``MapVal.copy`` ran ``copy.deepcopy`` over the
+entry dict; checkpoints and lane payloads both paid it per contract,
+per epoch):
+
+* **checkpoint take** — a :class:`~repro.scilla.state.StateJournal`
+  mark vs. a deep state copy;
+* **checkpoint restore** — replaying the undo journal over a burst of
+  writes (the deep-copy baseline restores by pointer swap, but only
+  after paying O(state) at take time);
+* **lane payload construction** — a footprint-sliced payload
+  (:func:`repro.chain.lanes._sliced_state`) vs. a deep copy, and the
+  pickled payload bytes shipped to a process-pool worker either way.
+
+Results land in ``BENCH_state.json`` at the repo root; the benchmark
+suite (``benchmarks/test_state_engine.py``) asserts the headline
+claim — take + payload construction ≥10× faster than the deep-copy
+baseline at 10^5 entries — and the CI smoke guards that a checkpoint
+take materialises zero CoW copies (stays O(1) in state size).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pickle
+import time
+from dataclasses import dataclass, field as dc_field
+
+from ..chain.lanes import _sliced_state
+from ..scilla import types as ty
+from ..scilla.state import ContractState, StateJournal
+from ..scilla.values import MapVal, StringVal, Value, uint
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000)
+
+
+def _big_state(entries: int) -> ContractState:
+    """One contract with an ``entries``-sized token-balance map plus a
+    scalar — the shape the Fig. 14 workloads stress."""
+    balances = MapVal(ty.STRING, ty.UINT128)
+    for i in range(entries):
+        balances.entries[StringVal(f"0x{i:040x}")] = uint(i)
+    return ContractState(
+        address="0x" + "ab" * 20,
+        fields={"balances": balances, "total_supply": uint(entries)},
+        field_types={"balances": ty.MapType(ty.STRING, ty.UINT128),
+                     "total_supply": ty.UINT128},
+    )
+
+
+def _deep_copy_state(state: ContractState) -> ContractState:
+    """The seed's copy policy, verbatim: deepcopy every map's entries."""
+    return ContractState(
+        state.address,
+        {k: (MapVal(v.key_type, v.value_type, copy.deepcopy(v.entries))
+             if isinstance(v, MapVal) else v)
+         for k, v in state.fields.items()},
+        dict(state.field_types),
+        dict(state.immutables),
+        state.balance,
+    )
+
+
+def _best_ns(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter_ns()
+        fn()
+        best = min(best, time.perf_counter_ns() - t0)
+    return best
+
+
+@dataclass
+class StateBenchRow:
+    entries: int
+    deep_copy_ns: float        # baseline: one deep state copy
+    mark_ns: float             # new checkpoint take (journal mark)
+    fork_ns: float             # new full-payload construction (CoW fork)
+    slice_ns: float            # new sliced-payload construction
+    rollback_ns: float         # journal restore over `writes` writes
+    full_payload_bytes: int    # pickled deep/full state
+    sliced_payload_bytes: int  # pickled sliced state
+
+    @property
+    def old_total_ns(self) -> float:
+        """Baseline epoch cost: deep copy at take + deep copy per lane
+        payload."""
+        return 2 * self.deep_copy_ns
+
+    @property
+    def new_total_ns(self) -> float:
+        return self.mark_ns + self.slice_ns
+
+    @property
+    def speedup(self) -> float:
+        return self.old_total_ns / max(self.new_total_ns, 1.0)
+
+    @property
+    def bytes_ratio(self) -> float:
+        return self.sliced_payload_bytes / max(self.full_payload_bytes, 1)
+
+
+@dataclass
+class StateBenchResult:
+    rows: list[StateBenchRow] = dc_field(default_factory=list)
+    writes: int = 0
+    sliced_keys: int = 0
+
+
+def run_state_bench(sizes: tuple[int, ...] = DEFAULT_SIZES,
+                    writes: int = 64, sliced_keys: int = 8,
+                    repeat: int = 3) -> StateBenchResult:
+    result = StateBenchResult(writes=writes, sliced_keys=sliced_keys)
+    for entries in sizes:
+        state = _big_state(entries)
+
+        deep_copy_ns = _best_ns(lambda: _deep_copy_state(state), repeat)
+        fork_ns = _best_ns(lambda: state.fork(), repeat)
+
+        journal = StateJournal()
+        state.journal = journal
+        mark_ns = _best_ns(
+            lambda: journal.release(journal.mark()), repeat)
+
+        def take_and_restore() -> None:
+            mark = journal.mark()
+            for i in range(writes):
+                state.write(("balances", (StringVal(f"0x{i:040x}"),)),
+                            uint(i + 1))
+            journal.rollback_to(mark)
+            journal.release(mark)
+        rollback_ns = _best_ns(take_and_restore, repeat)
+
+        plan: dict[str, set[Value] | None] = {
+            "balances": {StringVal(f"0x{i:040x}")
+                         for i in range(sliced_keys)}}
+        slice_ns = _best_ns(lambda: _sliced_state(state, plan), repeat)
+
+        sliced, _, _ = _sliced_state(state, plan)
+        result.rows.append(StateBenchRow(
+            entries=entries,
+            deep_copy_ns=deep_copy_ns,
+            mark_ns=mark_ns,
+            fork_ns=fork_ns,
+            slice_ns=slice_ns,
+            rollback_ns=rollback_ns,
+            full_payload_bytes=len(pickle.dumps(state)),
+            sliced_payload_bytes=len(pickle.dumps(sliced)),
+        ))
+    return result
+
+
+def format_state_bench(result: StateBenchResult) -> str:
+    lines = [
+        "State engine — CoW forks and journal checkpoints vs. the "
+        "deep-copy baseline",
+        f"(restore replays {result.writes} writes; sliced payloads "
+        f"ship {result.sliced_keys} entries)",
+        "",
+        f"{'entries':>9s} {'deepcopy':>12s} {'mark':>9s} {'fork':>9s} "
+        f"{'slice':>9s} {'rollback':>10s} {'speedup':>8s} "
+        f"{'bytes full':>12s} {'sliced':>9s}",
+    ]
+    for r in result.rows:
+        lines.append(
+            f"{r.entries:>9,d} {r.deep_copy_ns / 1e6:>10.2f}ms "
+            f"{r.mark_ns / 1e3:>7.1f}µs {r.fork_ns / 1e3:>7.1f}µs "
+            f"{r.slice_ns / 1e3:>7.1f}µs {r.rollback_ns / 1e3:>8.1f}µs "
+            f"{r.speedup:>7.0f}x {r.full_payload_bytes:>12,d} "
+            f"{r.sliced_payload_bytes:>9,d}")
+    return "\n".join(lines)
+
+
+def write_state_bench(result: StateBenchResult, path) -> None:
+    payload = {
+        "benchmark": "state-engine",
+        "writes": result.writes,
+        "sliced_keys": result.sliced_keys,
+        "rows": [{
+            "entries": r.entries,
+            "deep_copy_ns": r.deep_copy_ns,
+            "checkpoint_take_ns": {"old": r.deep_copy_ns,
+                                   "new": r.mark_ns},
+            "checkpoint_restore_ns": r.rollback_ns,
+            "payload_construction_ns": {"old": r.deep_copy_ns,
+                                        "new_full": r.fork_ns,
+                                        "new_sliced": r.slice_ns},
+            "payload_bytes": {"old": r.full_payload_bytes,
+                              "new_sliced": r.sliced_payload_bytes},
+            "speedup": r.speedup,
+        } for r in result.rows],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

@@ -390,7 +390,7 @@ def _put(args: list[Value]) -> Value:
     if not isinstance(m, MapVal):
         raise EvalError("put expects a map")
     out = m.copy()
-    out.entries[k] = v
+    out.put(k, v)  # owned write: never leaks into the shared dict
     return out
 
 
@@ -425,7 +425,7 @@ def _remove(args: list[Value]) -> Value:
     if not isinstance(m, MapVal):
         raise EvalError("remove expects a map")
     out = m.copy()
-    out.entries.pop(k, None)
+    out.remove(k)
     return out
 
 

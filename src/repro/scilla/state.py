@@ -1,4 +1,4 @@
-"""Mutable contract state and write tracking.
+"""Mutable contract state, write tracking, and the state journal.
 
 The contract state maps field names to runtime values.  Map-typed
 fields hold :class:`~repro.scilla.values.MapVal`, possibly nested.
@@ -6,11 +6,24 @@ The interpreter mutates state in place but records an *undo log* so a
 failed transition can roll back, and a *write set* so the chain
 substrate can compute per-shard state deltas without diffing whole
 maps.
+
+Copies are structural (copy-on-write): :meth:`ContractState.fork` is
+O(number of fields), sharing every map's entry dict with the source
+until one side is first written.  All mutation flows through the owned
+write paths below (``write`` / ``map_put`` / ``map_delete``), which
+materialise private dicts along the written path only — so a fork of a
+million-entry token map costs a dict-wrapper per field, not a deep
+copy (docs/STATE.md).
+
+:class:`StateJournal` generalises the per-transition undo log to the
+network level: every write to a journal-attached state appends an undo
+entry, and a :class:`~repro.chain.recovery.NetworkCheckpoint` becomes
+a mark into that log — ``take`` is O(1), ``restore`` replays the undo
+entries above the mark in reverse.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field as dc_field
 
 from .errors import ExecError
@@ -48,25 +61,81 @@ def _missing_singleton() -> "_Missing":
 StateKey = tuple[str, tuple[Value, ...]]
 
 
-@dataclass
 class ContractState:
-    """The mutable replicated state of one deployed contract."""
+    """The mutable replicated state of one deployed contract.
 
-    address: str
-    fields: dict[str, Value]
-    field_types: dict[str, ScillaType]
-    immutables: dict[str, Value] = dc_field(default_factory=dict)
-    balance: int = 0  # native token balance (QA)
+    ``field_types`` and ``immutables`` are fixed at deploy time and
+    shared (by reference) between a state and its forks; ``fields``
+    and the native balance are per-fork.  When ``journal`` is attached
+    (the network does this for every globally-visible state), each
+    write records its undo entry there before mutating.
+    """
 
-    def copy(self) -> "ContractState":
+    __slots__ = ("address", "fields", "field_types", "immutables",
+                 "_balance", "journal")
+
+    def __init__(self, address: str, fields: dict[str, Value],
+                 field_types: dict[str, ScillaType],
+                 immutables: dict[str, Value] | None = None,
+                 balance: int = 0):
+        self.address = address
+        self.fields = fields
+        self.field_types = field_types
+        self.immutables = immutables if immutables is not None else {}
+        self._balance = balance
+        self.journal: "StateJournal | None" = None
+
+    def __repr__(self) -> str:
+        return (f"ContractState(address={self.address!r}, "
+                f"fields={sorted(self.fields)}, balance={self._balance})")
+
+    # Forks never carry the journal across a pickle (process lanes) —
+    # worker-side states are private and unjournaled.
+    def __getstate__(self):
+        return (self.address, self.fields, self.field_types,
+                self.immutables, self._balance)
+
+    def __setstate__(self, state) -> None:
+        (self.address, self.fields, self.field_types,
+         self.immutables, self._balance) = state
+        self.journal = None
+
+    # -- native balance (journal-hooked) ------------------------------------
+
+    @property
+    def balance(self) -> int:
+        return self._balance
+
+    @balance.setter
+    def balance(self, value: int) -> None:
+        j = self.journal
+        if j is not None:
+            j.record_balance(self, self._balance)
+        self._balance = value
+
+    # -- copying ------------------------------------------------------------
+
+    def fork(self) -> "ContractState":
+        """Structural-sharing copy — the single copy policy for
+        checkpoints, lane payloads, and the serial lane path.
+
+        O(number of fields): each map field becomes a CoW wrapper over
+        the shared entry dict.  The fork is unjournaled; behaviour is
+        indistinguishable from a deep copy as long as every mutation
+        flows through the owned write paths (which it does — see
+        tests/test_state_journal.py for the aliasing property tests).
+        """
         return ContractState(
             self.address,
             {k: (v.copy() if isinstance(v, MapVal) else v)
              for k, v in self.fields.items()},
-            dict(self.field_types),
-            dict(self.immutables),
-            self.balance,
+            self.field_types,
+            self.immutables,
+            self._balance,
         )
+
+    # Legacy name kept for the many call sites that predate fork().
+    copy = fork
 
     # -- raw accessors ------------------------------------------------------
 
@@ -75,17 +144,23 @@ class ContractState:
             raise ExecError(f"unknown field {name!r}")
         return self.fields[name]
 
-    def _descend(self, name: str, keys: tuple[Value, ...], create: bool):
+    def _descend(self, name: str, keys: tuple[Value, ...], create: bool,
+                 own: bool = False):
         """Walk nested maps along ``keys[:-1]``, returning the leaf map.
 
         With ``create=True`` missing intermediate maps are created, as
-        Scilla's in-place map update semantics prescribes.
+        Scilla's in-place map update semantics prescribes.  With
+        ``own=True`` (write paths) every map along the walk first
+        materialises a private entry dict, so the mutation can never
+        leak into a structurally-shared fork.
         """
         current = self.get_field(name)
         typ = self.field_types.get(name)
         for key in keys[:-1]:
             if not isinstance(current, MapVal):
                 raise ExecError(f"field {name!r} is not a nested map")
+            if own:
+                current._own()
             if key not in current.entries:
                 if not create:
                     return None
@@ -96,6 +171,8 @@ class ContractState:
             typ = typ.value if isinstance(typ, MapType) else None
         if not isinstance(current, MapVal):
             raise ExecError(f"field {name!r} is not a map")
+        if own:
+            current._own()
         return current
 
     def map_get(self, name: str, keys: tuple[Value, ...]) -> Value | _Missing:
@@ -105,12 +182,14 @@ class ContractState:
         return leaf.entries[keys[-1]]
 
     def map_put(self, name: str, keys: tuple[Value, ...], value: Value) -> None:
-        leaf = self._descend(name, keys, create=True)
+        self._journal_write((name, keys))
+        leaf = self._descend(name, keys, create=True, own=True)
         assert leaf is not None
         leaf.entries[keys[-1]] = value
 
     def map_delete(self, name: str, keys: tuple[Value, ...]) -> None:
-        leaf = self._descend(name, keys, create=False)
+        self._journal_write((name, keys))
+        leaf = self._descend(name, keys, create=False, own=True)
         if leaf is not None:
             leaf.entries.pop(keys[-1], None)
 
@@ -127,12 +206,55 @@ class ContractState:
         if not keys:
             if isinstance(value, _Missing):
                 raise ExecError("cannot delete a whole field")
+            self._journal_write(key)
             self.fields[name] = value
             return
         if isinstance(value, _Missing):
             self.map_delete(name, keys)
         else:
             self.map_put(name, keys, value)
+
+    def _journal_write(self, key: StateKey) -> None:
+        j = self.journal
+        if j is not None:
+            j.record_write(self, key)
+
+
+def _capture_undo(state: ContractState, key: StateKey
+                  ) -> tuple[StateKey, Value | _Missing]:
+    """The (location, old value) pair that undoes an imminent write.
+
+    If a prefix of the key path is absent, the undo action is to
+    delete that prefix (the write will create intermediate maps that
+    must disappear on rollback).  Old values are captured *by
+    reference*: a replaced value drops out of the live tree at the
+    write, and everything still in the tree is only ever mutated
+    through the owned (CoW-safe) write paths — so the reference stays
+    valid without a deep copy.
+    """
+    name, keys = key
+    if not keys:
+        return key, state.fields.get(name, MISSING)
+    current: Value | _Missing = state.fields.get(name, MISSING)
+    for i, k in enumerate(keys):
+        if not isinstance(current, MapVal) or k not in current.entries:
+            return (name, keys[: i + 1]), MISSING
+        current = current.entries[k]
+    return key, current
+
+
+def _apply_undo(state: ContractState, key: StateKey,
+                old: Value | _Missing) -> None:
+    name, keys = key
+    if not keys:
+        if isinstance(old, _Missing):
+            state.fields.pop(name, None)
+        else:
+            state.fields[name] = old
+    elif isinstance(old, _Missing):
+        state.map_delete(name, keys)
+    else:
+        state.map_put(name, keys, old)
 
 
 @dataclass
@@ -144,28 +266,9 @@ class WriteLog:
 
     def record(self, state: ContractState, key: StateKey,
                new_value: Value | _Missing) -> None:
-        name, keys = key
-        if not keys:
-            if key not in self.undo:
-                self.undo[key] = copy.deepcopy(state.fields.get(name, MISSING))
-        else:
-            # Walk nested maps; if a prefix of the key path is absent, the
-            # undo action is to delete that prefix (the write will create
-            # intermediate maps that must disappear on rollback).
-            current: Value | _Missing = state.fields.get(name, MISSING)
-            undo_key: StateKey | None = None
-            undo_val: Value | _Missing = MISSING
-            for i, k in enumerate(keys):
-                if not isinstance(current, MapVal) or k not in current.entries:
-                    undo_key = (name, keys[: i + 1])
-                    undo_val = MISSING
-                    break
-                current = current.entries[k]
-            else:
-                undo_key = key
-                undo_val = copy.deepcopy(current)
-            if undo_key not in self.undo:
-                self.undo[undo_key] = undo_val
+        undo_key, undo_val = _capture_undo(state, key)
+        if undo_key not in self.undo:
+            self.undo[undo_key] = undo_val
         self.writes[key] = new_value
 
     def rollback(self, state: ContractState) -> None:
@@ -173,6 +276,121 @@ class WriteLog:
         # were necessarily recorded before deeper writes under them) run
         # after any value restorations beneath them.
         for key, old in reversed(list(self.undo.items())):
-            state.write(key, old)
+            _apply_undo(state, key, old)
         self.undo.clear()
         self.writes.clear()
+
+
+class JournalError(Exception):
+    """Rollback to a mark the journal no longer covers."""
+
+
+class StateJournal:
+    """A network-wide undo log over journal-attached contract states.
+
+    Entries carry everything needed to reverse one mutation:
+
+    * ``("write", state, undo_key, old)`` — a field/map write,
+      captured with the same prefix-deletion logic as ``WriteLog``;
+    * ``("balance", state, old)`` — a native-balance change;
+    * ``("rebind", holder, old_state)`` — a ``DeployedContract`` whose
+      ``state`` attribute was swapped (the FSD merge does this).
+
+    Positions are *absolute* sequence numbers, so entries can be
+    truncated from the front without invalidating marks: a mark is
+    released when its checkpoint commits, and the log drops everything
+    below the oldest outstanding mark (everything, when none are
+    outstanding).  The log is self-consistent under re-entrant undo —
+    a transition rollback on a journal-attached state appends fresh
+    entries that reverse correctly when the journal itself unwinds.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple] = []
+        self._base = 0          # absolute sequence of _entries[0]
+        self._marks: list[int] = []   # outstanding marks (absolute)
+        self._suspended = False
+
+    @property
+    def depth(self) -> int:
+        """Entries currently retained (outstanding-mark backlog)."""
+        return len(self._entries)
+
+    @property
+    def seq(self) -> int:
+        """The absolute sequence number of the next entry."""
+        return self._base + len(self._entries)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_write(self, state: ContractState, key: StateKey) -> None:
+        if self._suspended:
+            return
+        undo_key, undo_val = _capture_undo(state, key)
+        self._entries.append(("write", state, undo_key, undo_val))
+
+    def record_balance(self, state: ContractState, old: int) -> None:
+        if self._suspended:
+            return
+        self._entries.append(("balance", state, old))
+
+    def record_rebind(self, holder, old_state: ContractState) -> None:
+        """``holder.state`` is about to be replaced (e.g. delta merge)."""
+        if self._suspended:
+            return
+        self._entries.append(("rebind", holder, old_state))
+
+    # -- marks (checkpoint protocol) ----------------------------------------
+
+    def mark(self) -> int:
+        """Open a rollback point; pair with :meth:`release`."""
+        m = self.seq
+        self._marks.append(m)
+        return m
+
+    def release(self, mark: int) -> None:
+        """Commit past a mark; entries below the oldest outstanding
+        mark are dropped.  Releasing an unknown mark is a no-op (a
+        checkpoint may be released at most once but restored many
+        times)."""
+        try:
+            self._marks.remove(mark)
+        except ValueError:
+            return
+        self._truncate()
+
+    def _truncate(self) -> None:
+        floor = min(self._marks) if self._marks else self.seq
+        if floor > self._base:
+            del self._entries[: floor - self._base]
+            self._base = floor
+
+    def rollback_to(self, mark: int) -> None:
+        """Undo every entry above ``mark``, newest first.
+
+        Idempotent and repeatable: after one rollback the log head sits
+        at the mark, so rolling back again is a no-op — the contract
+        ``NetworkCheckpoint.restore`` relies on for repeated view
+        changes.  Recording is suspended while unwinding (the undo
+        writes themselves must not re-journal).
+        """
+        if mark < self._base:
+            raise JournalError(
+                f"mark {mark} was truncated (journal base {self._base}); "
+                f"the checkpoint was already released")
+        self._suspended = True
+        try:
+            while self.seq > mark:
+                entry = self._entries.pop()
+                kind = entry[0]
+                if kind == "write":
+                    _, state, key, old = entry
+                    _apply_undo(state, key, old)
+                elif kind == "balance":
+                    _, state, old = entry
+                    state._balance = old
+                else:  # "rebind"
+                    _, holder, old_state = entry
+                    holder.state = old_state
+        finally:
+            self._suspended = False

@@ -2,13 +2,13 @@
 
 Values are deliberately simple wrappers.  Primitive values are frozen
 (hashable, usable as map keys); maps are mutable dictionaries owned by
-the contract state and deep-copied at epoch boundaries by the chain
-substrate.
+the contract state.  Maps copy structurally (copy-on-write): a
+``copy()`` is O(1) and shares the entry dict with its source until one
+side is first written (see docs/STATE.md for the aliasing invariant).
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -92,16 +92,65 @@ class ADTVal(Value):
         return f"({self.constructor} {' '.join(str(a) for a in self.args)})"
 
 
+# Process-wide count of copy-on-write materialisations (``_own`` dict
+# copies).  Read by the chain telemetry (``state.cow.copies``) and by
+# the CI bench smoke guarding that checkpoint ``take`` stays O(1).
+COW_COPIES = 0
+
+
 @dataclass
 class MapVal(Value):
-    """A mutable finite map; contract state owns these."""
+    """A mutable finite map; contract state owns these.
+
+    Copies share structure: ``copy()`` returns a new wrapper over the
+    *same* entry dict, marking both sides copy-on-write.  The first
+    write through either wrapper materialises a private shallow copy
+    of the dict (``_own``), re-wrapping map-valued children so the
+    protection propagates lazily down the tree.  The invariant: a
+    ``MapVal`` whose ``_cow`` flag is clear is referenced by exactly
+    one owner chain, so in-place mutation of its dict is private.
+
+    Mutate only through :meth:`put` / :meth:`remove` or the owned
+    write paths of ``ContractState``; writing ``entries`` directly is
+    safe only on a freshly constructed map that was never copied.
+    """
 
     key_type: ScillaType
     value_type: ScillaType
     entries: dict[Value, Value] = field(default_factory=dict)
+    _cow: bool = field(default=False, repr=False, compare=False)
 
     def copy(self) -> "MapVal":
-        return MapVal(self.key_type, self.value_type, copy.deepcopy(self.entries))
+        """O(1) structural-sharing copy (both sides become CoW)."""
+        self._cow = True
+        fork = MapVal(self.key_type, self.value_type, self.entries)
+        fork._cow = True
+        return fork
+
+    def _own(self) -> None:
+        """Make this wrapper the sole owner of its entry dict.
+
+        Map-valued children are re-wrapped in fresh CoW forks: the
+        other holder of the old dict still references the original
+        child objects, so handing out the same objects unflagged
+        would alias two logical owners.
+        """
+        if self._cow:
+            global COW_COPIES
+            COW_COPIES += 1
+            self.entries = {
+                k: (v.copy() if type(v) is MapVal else v)
+                for k, v in self.entries.items()
+            }
+            self._cow = False
+
+    def put(self, key: Value, value: Value) -> None:
+        self._own()
+        self.entries[key] = value
+
+    def remove(self, key: Value) -> None:
+        self._own()
+        self.entries.pop(key, None)
 
     def __str__(self) -> str:
         inner = ", ".join(f"{k} => {v}" for k, v in self.entries.items())

@@ -80,6 +80,38 @@ def test_checkpoint_drops_accounts_created_after_take():
     assert _pad("0x" + "99" * 20) not in net.accounts
 
 
+def test_checkpoint_drops_contracts_deployed_after_take():
+    """A contract deployed during an aborted attempt must disappear
+    entirely on restore: state, runtime, and dispatcher registration
+    (a stale registration would keep routing transactions to it)."""
+    net = ft_network()
+    mint_all(net)
+    checkpoint = NetworkCheckpoint.take(net)
+    before = network_fingerprint(net)
+
+    second = "0x" + "c1" * 20
+    net.deploy(CORPUS["FungibleToken"], second, {
+        "contract_owner": addr(ADMIN), "name": StringVal("U"),
+        "symbol": StringVal("U"), "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(0),
+    }, sharded_transitions=("Mint", "Transfer"))
+    net.process_epoch([call(ADMIN, second, "Mint",
+                            {"recipient": addr(USERS[0]),
+                             "amount": uint(5)}, nonce=100)],
+                      unlimited=True)
+    assert _pad(second) in net.contracts
+
+    checkpoint.restore(net)
+    assert _pad(second) not in net.contracts
+    assert not net.dispatcher.is_contract(_pad(second))
+    assert _pad(second) not in net.dispatcher._field_level_cache
+    assert network_fingerprint(net) == before
+    # A payment to the undeployed address behaves like a user payment
+    # again, exactly as before the aborted deploy.
+    decision = net.dispatcher.dispatch(payment(ADMIN, second, 1, nonce=101))
+    assert not decision.is_ds
+
+
 def test_checkpoint_restores_dead_letter_and_executor_counters():
     """An aborted epoch attempt must not leak dead-lettered
     transactions or inflated executor counters into the commit."""

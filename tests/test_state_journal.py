@@ -1,0 +1,199 @@
+"""Property tests for the state journal and copy-on-write forks.
+
+Three laws the state engine rests on:
+
+* **Journal identity** — for any write sequence, ``rollback_to(mark)``
+  restores the exact pre-mark state, and releasing a committed mark
+  truncates without disturbing outstanding older marks.
+* **Nested marks** — inner rollbacks compose with outer ones: undoing
+  to an inner mark then to an outer one equals undoing straight to the
+  outer one.
+* **CoW isolation** — writes through a fork never leak into the
+  source (or vice versa), at any nesting depth, even though the fork
+  is O(fields) and shares every entry dict at birth.
+
+Plus the O(1)-take guard: marking the journal must not materialise a
+single CoW copy nor touch any map entry.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+import pytest
+
+from repro.scilla import types as ty, values as scilla_values
+from repro.scilla.state import (
+    ContractState, JournalError, MISSING, StateJournal,
+)
+from repro.scilla.values import MapVal, StringVal, canonical, uint
+
+
+def fresh_state(journal: StateJournal | None = None) -> ContractState:
+    state = ContractState(
+        address="0x01",
+        fields={
+            "n": uint(0),
+            "m": MapVal(ty.STRING, ty.UINT128),
+            "nested": MapVal(ty.STRING, ty.MapType(ty.STRING, ty.UINT128)),
+        },
+        field_types={
+            "n": ty.UINT128,
+            "m": ty.MapType(ty.STRING, ty.UINT128),
+            "nested": ty.MapType(ty.STRING,
+                                 ty.MapType(ty.STRING, ty.UINT128)),
+        },
+    )
+    state.journal = journal
+    return state
+
+
+def snapshot(state: ContractState):
+    return ({k: canonical(v) for k, v in state.fields.items()},
+            state.balance)
+
+
+# One abstract operation: (kind, field/key path, value).
+def _apply(state: ContractState, op) -> None:
+    kind, key, value = op
+    if kind == "field":
+        state.write(("n", ()), uint(value))
+    elif kind == "put":
+        state.write(key, uint(value))
+    elif kind == "delete":
+        state.write(key, MISSING)
+    else:  # balance
+        state.balance = value
+
+
+_KEYS = st.one_of(
+    st.tuples(st.just("m"),
+              st.tuples(st.sampled_from([StringVal(c) for c in "abcd"]))),
+    st.tuples(st.just("nested"),
+              st.tuples(st.sampled_from([StringVal(c) for c in "ab"]),
+                        st.sampled_from([StringVal(c) for c in "xy"]))),
+)
+
+_OPS = st.one_of(
+    st.tuples(st.just("field"), st.none(), st.integers(0, 50)),
+    st.tuples(st.just("put"), _KEYS, st.integers(0, 50)),
+    st.tuples(st.just("delete"), _KEYS, st.just(0)),
+    st.tuples(st.just("balance"), st.none(), st.integers(0, 50)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_OPS, max_size=20))
+def test_rollback_restores_premark_state(ops):
+    journal = StateJournal()
+    state = fresh_state(journal)
+    _apply(state, ("put", ("m", (StringVal("a"),)), 1))
+    before = snapshot(state)
+    mark = journal.mark()
+    for op in ops:
+        _apply(state, op)
+    journal.rollback_to(mark)
+    assert snapshot(state) == before
+    # Idempotent: a second rollback is a no-op.
+    journal.rollback_to(mark)
+    assert snapshot(state) == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_OPS, max_size=10), st.lists(_OPS, max_size=10))
+def test_nested_marks_compose(outer_ops, inner_ops):
+    journal = StateJournal()
+    state = fresh_state(journal)
+    base = snapshot(state)
+    outer = journal.mark()
+    for op in outer_ops:
+        _apply(state, op)
+    middle = snapshot(state)
+    inner = journal.mark()
+    for op in inner_ops:
+        _apply(state, op)
+    journal.rollback_to(inner)
+    assert snapshot(state) == middle
+    journal.rollback_to(outer)
+    assert snapshot(state) == base
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_OPS, max_size=12), st.lists(_OPS, max_size=12))
+def test_cow_fork_never_leaks_writes(source_ops, fork_ops):
+    source = fresh_state()
+    _apply(source, ("put", ("m", (StringVal("a"),)), 7))
+    _apply(source, ("put", ("nested", (StringVal("a"), StringVal("x"))), 8))
+    fork = source.fork()
+    source_before = snapshot(source)
+    fork_before = snapshot(fork)
+    assert fork_before == source_before
+
+    for op in fork_ops:
+        _apply(fork, op)
+    # Nothing the fork did is visible through the source.
+    assert snapshot(source) == source_before
+
+    fork_after = snapshot(fork)
+    for op in source_ops:
+        _apply(source, op)
+    # And nothing the source does afterwards reaches the fork.
+    assert snapshot(fork) == fork_after
+
+
+def test_release_truncates_only_below_oldest_outstanding_mark():
+    journal = StateJournal()
+    state = fresh_state(journal)
+    older = journal.mark()
+    _apply(state, ("field", None, 1))
+    newer = journal.mark()
+    _apply(state, ("field", None, 2))
+    journal.release(newer)            # older still outstanding
+    journal.rollback_to(older)        # must still be able to undo
+    assert state.fields["n"] == uint(0)
+    journal.release(older)
+    assert journal.depth == 0
+
+
+def test_rollback_to_released_mark_raises():
+    journal = StateJournal()
+    state = fresh_state(journal)
+    mark = journal.mark()
+    _apply(state, ("field", None, 3))
+    journal.release(mark)
+    with pytest.raises(JournalError):
+        journal.rollback_to(mark)
+
+
+def test_mark_is_o1_no_cow_copies_no_entries_touched():
+    """Taking a rollback point must not copy anything, however large
+    the state — the property the checkpoint bench smoke guards at
+    network level."""
+    journal = StateJournal()
+    state = fresh_state(journal)
+    big = state.fields["m"]
+    for i in range(10_000):
+        big.entries[StringVal(f"k{i}")] = uint(i)
+    before = scilla_values.COW_COPIES
+    marks = [journal.mark() for _ in range(100)]
+    assert scilla_values.COW_COPIES == before
+    assert journal.depth == 0
+    for m in reversed(marks):
+        journal.release(m)
+
+
+def test_fork_is_o_fields_single_write_materialises_once():
+    state = fresh_state()
+    big = state.fields["m"]
+    for i in range(10_000):
+        big.entries[StringVal(f"k{i}")] = uint(i)
+    before = scilla_values.COW_COPIES
+    fork = state.fork()
+    assert scilla_values.COW_COPIES == before   # fork itself copies nothing
+    fork.write(("m", (StringVal("k1"),)), uint(999))
+    assert scilla_values.COW_COPIES == before + 1
+    assert state.read(("m", (StringVal("k1"),))) == uint(1)
+    # A second write to the now-owned map does not copy again.
+    fork.write(("m", (StringVal("k2"),)), uint(998))
+    assert scilla_values.COW_COPIES == before + 1
