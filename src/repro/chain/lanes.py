@@ -40,6 +40,8 @@ epochs pickle only states, queues and balances.
 from __future__ import annotations
 
 import hashlib
+import os
+import time
 from dataclasses import dataclass, field as dc_field
 
 from ..core.domain import ConstKey, Key, ParamKey
@@ -54,6 +56,7 @@ from ..scilla.values import (
 from .blocks import MicroBlock
 from .delta import StateDelta, compute_delta
 from .dispatch import _pad, key_token
+from .faults import WorkerKilled
 from .transaction import Account, Transaction
 
 
@@ -104,6 +107,12 @@ class LaneTask:
     # When the owning network records telemetry, the worker records the
     # lane's metrics into a private registry shipped back in the result.
     metrics_enabled: bool = False
+    # Chaos injection (repro.chain.supervise): an (action, seconds)
+    # pair the worker acts out before executing — "hang"/"slow" sleep,
+    # "kill-process" exits the worker process, "kill-thread" raises
+    # WorkerKilled.  The supervisor attaches it to first attempts only
+    # and never to tasks it runs inline in the coordinator.
+    worker_fault: tuple[str, float] | None = None
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -460,6 +469,15 @@ def run_lane_task(task: LaneTask) -> LaneResult:
     from ..obs.metrics import MetricsRegistry
     from .network import DeployedContract, Network
 
+    if task.worker_fault is not None:
+        action, seconds = task.worker_fault
+        if action == "kill-process":
+            os._exit(13)
+        if action == "kill-thread":
+            raise WorkerKilled(
+                f"lane {task.lane}: injected worker kill")
+        time.sleep(seconds)   # "hang" (past deadline) / "slow" (within)
+
     registry = MetricsRegistry() if task.metrics_enabled else None
     net = Network(task.n_shards, use_signatures=task.use_signatures,
                   overflow_guard=task.overflow_guard, executor="serial",
@@ -550,35 +568,15 @@ def run_lanes(net, lanes: list[tuple[int, list[Transaction]]],
               ) -> dict[int, LaneResult] | None:
     """Run the given (shard, queue) lanes under the chosen executor.
 
-    Returns ``None`` on any pool-level failure (broken pool, pickling
-    surprise); the caller then redoes the epoch with the serial loop —
-    nothing has been mutated yet, so the fallback is transparent and
-    the results are identical either way.
+    Dispatch is delegated to the network's persistent lane supervisor
+    (:mod:`repro.chain.supervise`): per-lane futures under a deadline,
+    a hung-worker watchdog, per-lane retry with backoff, and the
+    executor circuit-breaker ladder.  A failing lane is retried or
+    re-executed serially *inside* the supervisor while its siblings
+    keep their results; ``None`` comes back only when the whole epoch
+    must fall back to the caller's serial loop (breaker ladder
+    bottomed out, or an unrecoverable coordinator-side error) — and
+    since nothing has been mutated yet, that fallback is transparent
+    and the results are identical either way.
     """
-    from ..core.parallel import (
-        reset_process_pool, shared_process_pool, shared_thread_pool,
-    )
-    ship_modules = strategy == "thread"
-    try:
-        tasks = [build_lane_task(net, shard, queue, gas_limit,
-                                 ship_modules=ship_modules)
-                 for shard, queue in lanes]
-        if net.metrics.enabled and strategy == "process":
-            import pickle
-            for task in tasks:
-                net._meters.payload_bytes.inc(len(pickle.dumps(task)))
-        pool = (shared_thread_pool(net.lane_workers) if ship_modules
-                else shared_process_pool(net.lane_workers))
-        results = list(pool.map(run_lane_task, tasks))
-        escapes = [e for r in results for e in r.footprint_escapes]
-        if escapes:
-            net.executor_fallback_details.append(
-                f"{strategy}: footprint escape: " + "; ".join(escapes))
-            return None
-        return {r.lane: r for r in results}
-    except Exception as exc:
-        if strategy == "process":
-            reset_process_pool()
-        net.executor_fallback_details.append(
-            f"{strategy}: {type(exc).__name__}: {exc!r}")
-        return None
+    return net.supervisor.run(net, lanes, gas_limit, strategy)

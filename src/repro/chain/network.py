@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import asdict, dataclass, field as dc_field
+from dataclasses import (
+    asdict, dataclass, field as dc_field, replace as dc_replace,
+)
 
 from ..core.joins import JoinKind
 from ..core.pipeline import run_pipeline_cached
-from ..obs.metrics import GAS_BUCKETS, NS_BUCKETS, NULL_REGISTRY
+from ..obs.metrics import (
+    GAS_BUCKETS, MS_BUCKETS, NS_BUCKETS, NULL_REGISTRY,
+)
 from ..obs.tracing import NULL_TRACER
 from ..core.signature import ShardingSignature
 from ..scilla.ast import Module
@@ -38,6 +42,9 @@ from .faults import FaultInjector, FaultPlan
 from .lanes import LaneResult, run_lanes
 from .recovery import (
     DeltaViolation, NetworkCheckpoint, fingerprint_digest, validate_delta,
+)
+from .supervise import (
+    BoundedLog, LaneFailureKind, LaneSupervisor, SuperviseConfig,
 )
 from .serialization import (
     signature_from_obj, signature_to_obj, transaction_from_obj,
@@ -193,6 +200,46 @@ class _NetworkMeters:
                                          deterministic=False)
         self.payload_bytes = m.counter("lane.payload.bytes",
                                        deterministic=False)
+        # Lane supervision (repro.chain.supervise): deadlines, retries,
+        # breakers and quarantine respond to real infrastructure
+        # failures and wall-clock scheduling, so every instrument is
+        # non-deterministic by design.
+        self.lane_failures = {
+            kind: m.counter(f"supervise.failures.{kind.value}",
+                            deterministic=False)
+            for kind in LaneFailureKind}
+        self.lane_retries = m.counter("supervise.lane_retries",
+                                      deterministic=False)
+        self.lane_rescues = m.counter("supervise.lane_rescues",
+                                      deterministic=False)
+        self.pool_rebuilds = m.counter("supervise.pool_rebuilds",
+                                       deterministic=False)
+        self.slow_lanes = m.counter("supervise.slow_lanes",
+                                    deterministic=False)
+        self.degraded_epochs = m.counter("supervise.degraded_epochs",
+                                         deterministic=False)
+        self.supervise_backoff_ms = m.histogram(
+            "supervise.backoff_ms", MS_BUCKETS, deterministic=False)
+        self.supervise_attempts = m.histogram(
+            "supervise.attempts_per_lane", (1, 2, 3, 4, 6, 8),
+            deterministic=False)
+        self.breaker_trips = m.counter("supervise.breaker.trips",
+                                       deterministic=False)
+        self.breaker_probes = m.counter("supervise.breaker.probes",
+                                        deterministic=False)
+        self.breaker_recoveries = m.counter(
+            "supervise.breaker.recoveries", deterministic=False)
+        # 0 = closed, 1 = half-open, 2 = open (supervise.BREAKER_GAUGE).
+        self.breaker_state = {
+            strategy: m.gauge(f"supervise.breaker.{strategy}_state",
+                              deterministic=False)
+            for strategy in ("process", "thread")}
+        self.quarantine_size = m.gauge("supervise.quarantine.size",
+                                       deterministic=False)
+        self.quarantine_additions = m.counter(
+            "supervise.quarantine.additions", deterministic=False)
+        self.fallback_dropped = m.gauge("net.executor.fallback_dropped",
+                                        deterministic=False)
 
 
 @dataclass
@@ -230,6 +277,9 @@ class Network:
                  crash_at_barrier: int | None = None,
                  crash_at_append: int | None = None,
                  slice_payloads: bool | None = None,
+                 lane_deadline_s: float | None = None,
+                 supervise: SuperviseConfig | None = None,
+                 clock=None,
                  metrics=None,
                  tracer=None):
         self.n_shards = n_shards
@@ -278,6 +328,27 @@ class Network:
                 f"{EXECUTOR_STRATEGIES}")
         self.executor = executor
         self.lane_workers = lane_workers
+        # Lane supervision (repro.chain.supervise): per-lane deadlines,
+        # hung-worker watchdog, retry with backoff, and the executor
+        # circuit-breaker ladder.  The deadline defaults to the cost
+        # model's consensus timeout — the same bound after which the
+        # protocol declares a MicroBlock missing — with the
+        # REPRO_LANE_DEADLINE env var as a runtime override.  Like the
+        # executor itself this is a runtime choice, not durable config.
+        if lane_deadline_s is None:
+            env = os.environ.get("REPRO_LANE_DEADLINE", "")
+            try:
+                lane_deadline_s = float(env) if env else None
+            except ValueError:
+                lane_deadline_s = None
+        if supervise is None:
+            supervise = SuperviseConfig(
+                deadline_s=(lane_deadline_s if lane_deadline_s is not None
+                            else cost_model.microblock_timeout_s))
+        elif lane_deadline_s is not None:
+            supervise = dc_replace(supervise,
+                                   deadline_s=lane_deadline_s)
+        self.supervisor = LaneSupervisor(supervise, clock=clock)
         # Observability (repro.obs).  Off by default: the null registry
         # and tracer answer every record with an empty call, so the
         # simulator's hot paths stay uninstrumented-cheap.
@@ -292,9 +363,11 @@ class Network:
         # ran serially (strict nonces, cross-lane nonce collision,
         # fewer than two runnable lanes, or a pool failure).
         self.executor_fallbacks = 0
-        # One "<strategy>: <ExcType>: <repr>" entry per pool failure,
-        # so a silent serial fallback stays observable after the fact.
-        self.executor_fallback_details: list[str] = []
+        # One detail entry per pool failure / supervision event, so a
+        # silent serial fallback stays observable after the fact.
+        # Bounded: appends past capacity drop the oldest entry and
+        # count it (the net.executor.fallback_dropped gauge).
+        self.executor_fallback_details: BoundedLog = BoundedLog()
         # How many epochs committed under each caller-supplied WAL tag
         # (the durable harness uses this to fast-forward generators).
         self.epoch_tags: dict[str, int] = {}
@@ -756,6 +829,8 @@ class Network:
         meters.merge_locations.inc(outcome.merged_locations)
         meters.backlog_size.set(len(self.backlog))
         meters.dead_letter_size.set(len(self.dead_letter))
+        meters.fallback_dropped.set(
+            getattr(self.executor_fallback_details, "dropped", 0))
         meters.journal_depth.set(self.journal.depth)
         cow_now = scilla_values.COW_COPIES
         meters.cow_copies.inc(cow_now - self._cow_copies_seen)

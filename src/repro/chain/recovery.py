@@ -159,6 +159,7 @@ class NetworkCheckpoint:
     dead_letter: list = dc_field(default_factory=list)
     executor_fallbacks: int = 0
     executor_fallback_details: list = dc_field(default_factory=list)
+    executor_fallback_dropped: int = 0
     # Telemetry snapshot (None with a disabled registry): lane counters
     # recorded by a discarded attempt roll back with everything else,
     # keeping the committed totals executor-independent.
@@ -182,6 +183,8 @@ class NetworkCheckpoint:
             dead_letter=list(net.dead_letter),
             executor_fallbacks=net.executor_fallbacks,
             executor_fallback_details=list(net.executor_fallback_details),
+            executor_fallback_dropped=getattr(
+                net.executor_fallback_details, "dropped", 0),
         )
         if net.metrics.enabled:
             net._meters.checkpoint_take_ns.observe(
@@ -214,8 +217,10 @@ class NetworkCheckpoint:
         net.backlog = list(self.backlog)
         net.dead_letter = list(self.dead_letter)
         net.executor_fallbacks = self.executor_fallbacks
-        net.executor_fallback_details = \
-            list(self.executor_fallback_details)
+        from .supervise import BoundedLog
+        net.executor_fallback_details = BoundedLog(
+            self.executor_fallback_details,
+            dropped=self.executor_fallback_dropped)
         if self.metrics is not None:
             net.metrics.reset_to(self.metrics)
         if net.metrics.enabled:

@@ -46,6 +46,16 @@ class SnapshotError(Exception):
     """No usable snapshot / snapshot machinery failure."""
 
 
+class StoreError(SnapshotError):
+    """An I/O failure while persisting a snapshot (write/fsync/rename).
+
+    Raised in place of the raw ``OSError`` so callers see a typed
+    durability error; the in-memory network is untouched (the epoch
+    already committed) and the on-disk state is still the previous,
+    intact snapshot set — the network remains resumable.
+    """
+
+
 # --------------------------------------------------------------------------
 # Network <-> snapshot object.
 # --------------------------------------------------------------------------
@@ -83,6 +93,8 @@ def snapshot_network(net, wal_seq: int) -> Any:
         "dead_letter": [transaction_to_obj(tx) for tx in net.dead_letter],
         "counters": {
             "executor_fallbacks": net.executor_fallbacks,
+            "executor_fallback_dropped": getattr(
+                net.executor_fallback_details, "dropped", 0),
             "epoch_tags": dict(net.epoch_tags),
         },
         "executor_fallback_details": list(net.executor_fallback_details),
@@ -156,9 +168,12 @@ def network_from_snapshot(obj: Any, executor: str | None = None,
                    for tx, retries, not_before in obj["backlog"]]
     net.dead_letter = [transaction_from_obj(tx)
                        for tx in obj["dead_letter"]]
+    from .supervise import BoundedLog
     net.executor_fallbacks = obj["counters"]["executor_fallbacks"]
     net.epoch_tags = dict(obj["counters"]["epoch_tags"])
-    net.executor_fallback_details = list(obj["executor_fallback_details"])
+    net.executor_fallback_details = BoundedLog(
+        obj["executor_fallback_details"],
+        dropped=obj["counters"].get("executor_fallback_dropped", 0))
     net.wal_notes = list(obj["notes"])
     injector_obj = obj.get("injector")
     if injector_obj is not None and net.injector is not None:
@@ -200,20 +215,32 @@ class SnapshotStore:
 
     def save(self, obj: Any) -> Path:
         """Atomically persist one snapshot object (write-temp, fsync,
-        rename, fsync directory)."""
+        rename, fsync directory).  An ``OSError`` anywhere in the
+        sequence surfaces as :class:`StoreError`; the temp file is
+        removed best-effort and the previous snapshot set is intact.
+        """
         target = self._path(obj["epoch"], obj["wal_seq"])
         body = json.dumps({"digest": _digest(obj), "snapshot": obj})
         tmp = target.with_name(target.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(body)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, target)
-        fd = os.open(self.dir, os.O_RDONLY)
         try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+            fd = os.open(self.dir, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise StoreError(
+                f"snapshot write failed for {target.name}: "
+                f"{type(exc).__name__}: {exc}") from exc
         return target
 
     def load_newest(self) -> Any | None:

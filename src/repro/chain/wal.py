@@ -266,6 +266,27 @@ class WriteAheadLog:
     def last_seq(self) -> int:
         return self._next_seq - 1
 
+    def _io_failed(self, what: str, exc: OSError) -> WALError:
+        """Convert an ``OSError`` from the disk into a typed
+        :class:`WALError` and poison the log.
+
+        A failed write may have left a partial frame on disk, so
+        further appends could interleave with the torn bytes; closing
+        the handle makes every later call fail cleanly ("closed").
+        The on-disk log is still valid up to the last complete record
+        — ``Network.resume`` truncates the torn tail and continues —
+        so a mid-epoch I/O failure surfaces as one clean exception
+        with the network left resumable.
+        """
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        return WALError(f"write-ahead log {what} failed: "
+                        f"{type(exc).__name__}: {exc}")
+
     def append(self, type: str, data: Any) -> int:
         """Append one record; returns its sequence number."""
         if self._handle is None:
@@ -281,11 +302,14 @@ class WriteAheadLog:
             self._handle.flush()
             os.fsync(self._handle.fileno())
             _die()
-        self._handle.write(frame)
-        self._next_seq = seq + 1
-        if self.fsync == "always":
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+        try:
+            self._handle.write(frame)
+            self._next_seq = seq + 1
+            if self.fsync == "always":
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise self._io_failed("append", exc) from exc
         return seq
 
     def barrier(self) -> None:
@@ -294,9 +318,12 @@ class WriteAheadLog:
         if self._handle is None:
             raise WALError("write-ahead log is closed")
         self.barriers += 1
-        self._handle.flush()
-        if self.fsync != "never":
-            os.fsync(self._handle.fileno())
+        try:
+            self._handle.flush()
+            if self.fsync != "never":
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise self._io_failed("barrier fsync", exc) from exc
         if self._crash_at_barrier is not None \
                 and self.barriers >= self._crash_at_barrier:
             _die()
@@ -304,11 +331,14 @@ class WriteAheadLog:
     def rotate(self) -> None:
         """Start a new segment at the next sequence number (called
         after a snapshot, so compaction can drop whole files)."""
-        if self._handle is not None:
-            self._handle.flush()
-            if self.fsync != "never":
-                os.fsync(self._handle.fileno())
-        self._open_segment(first_seq=self._next_seq)
+        try:
+            if self._handle is not None:
+                self._handle.flush()
+                if self.fsync != "never":
+                    os.fsync(self._handle.fileno())
+            self._open_segment(first_seq=self._next_seq)
+        except OSError as exc:
+            raise self._io_failed("rotate", exc) from exc
 
     def compact(self, keep_from_seq: int) -> list[str]:
         """Delete segments whose every record precedes ``keep_from_seq``.
@@ -328,10 +358,13 @@ class WriteAheadLog:
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.flush()
-            if self.fsync != "never":
-                os.fsync(self._handle.fileno())
-            self._handle.close()
+            try:
+                self._handle.flush()
+                if self.fsync != "never":
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+            except OSError as exc:
+                raise self._io_failed("close", exc) from exc
             self._handle = None
 
 

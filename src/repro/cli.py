@@ -192,7 +192,11 @@ def cmd_chaos(args) -> int:
     result = run_chaos(seed=args.seed, epochs=args.epochs,
                        shards=args.shards, workload=args.workload,
                        users=args.users, txns=args.txns,
-                       churn=args.churn)
+                       churn=args.churn, executor=args.executor,
+                       hang_rate=args.hang_rate,
+                       kill_rate=args.kill_rate,
+                       slow_rate=args.slow_rate,
+                       lane_deadline_s=args.lane_deadline)
     print(format_chaos_report(result))
     return 0 if (result.churn or result.consistent) else 1
 
@@ -346,6 +350,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also drop/duplicate/reorder mempool "
                         "transactions (disables the equivalence "
                         "verdict)")
+    p.add_argument("--executor", default=None,
+                   help="lane executor for the faulty run (serial, "
+                        "thread, process; the baseline stays serial)")
+    p.add_argument("--hang-rate", type=float, default=0.0,
+                   help="per-(epoch,shard) probability of a hung lane "
+                        "worker (needs a parallel --executor)")
+    p.add_argument("--kill-rate", type=float, default=0.0,
+                   help="per-(epoch,shard) probability of a killed "
+                        "lane worker")
+    p.add_argument("--slow-rate", type=float, default=0.0,
+                   help="per-(epoch,shard) probability of a slow (but "
+                        "within-deadline) lane worker")
+    p.add_argument("--lane-deadline", type=float, default=None,
+                   help="per-lane deadline in seconds (default: the "
+                        "cost model's microblock timeout)")
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(

@@ -81,6 +81,34 @@ def reset_process_pool() -> None:
         _process_pool_workers = 0
 
 
+def kill_process_pool() -> None:
+    """Forcibly reap the process pool, SIGKILLing its workers.
+
+    ``reset_process_pool`` asks workers to exit, which a *hung* worker
+    never does — its process would linger (and on a small machine keep
+    a core busy) long after the pool object is discarded.  The lane
+    supervisor calls this instead when a worker blows its deadline:
+    kill the worker processes outright, then let the next
+    :func:`shared_process_pool` call build a fresh pool.
+    """
+    global _process_pool, _process_pool_workers
+    with _pool_lock:
+        pool = _process_pool
+        _process_pool = None
+        _process_pool_workers = 0
+    if pool is None:
+        return
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except (OSError, ValueError):  # already gone
+            pass
+    # No cancel_futures: the pool's own broken-pool reaper sets an
+    # exception on every pending future once the kills land, and
+    # cancelling them first would make that raise in its thread.
+    pool.shutdown(wait=False)
+
+
 @atexit.register
 def _shutdown_pools() -> None:  # pragma: no cover - interpreter exit
     global _process_pool, _thread_pool

@@ -57,6 +57,7 @@ class ChaosResult:
     dropped_txns: int = 0
     dead_lettered: int = 0
     churn: bool = False
+    executor: str | None = None
     # Registry snapshots of the two runs (repro.obs) — the recovery
     # counters the report prints, machine-readable.
     baseline_metrics: dict = dc_field(default_factory=dict)
@@ -83,9 +84,12 @@ class ChaosResult:
 
 def _run(workload: Workload, epochs: int,
          plan: FaultPlan | None, shards: int,
-         metrics: MetricsRegistry | None = None) -> Network:
+         metrics: MetricsRegistry | None = None,
+         executor: str | None = None,
+         lane_deadline_s: float | None = None) -> Network:
     net = Network(shards, carry_backlog=True, fault_plan=plan,
-                  metrics=metrics)
+                  metrics=metrics, executor=executor,
+                  lane_deadline_s=lane_deadline_s)
     workload.setup(net)
     for epoch in range(epochs):
         net.process_epoch(workload.transactions(epoch))
@@ -98,23 +102,37 @@ def _run(workload: Workload, epochs: int,
 
 def run_chaos(seed: int = 0, epochs: int = 5, shards: int = 4,
               workload: str = "FT transfer", users: int = 24,
-              txns: int = 40, churn: bool = False) -> ChaosResult:
+              txns: int = 40, churn: bool = False,
+              executor: str | None = None,
+              hang_rate: float = 0.0, kill_rate: float = 0.0,
+              slow_rate: float = 0.0,
+              lane_deadline_s: float | None = None) -> ChaosResult:
     """Run the fault-free and faulty networks and diff their ends.
 
     The plan's window is ``epochs + 2`` from epoch 1, so it also
     covers the workload's preparation epoch(s) — recovery has to hold
     there too.
+
+    ``hang_rate``/``kill_rate``/``slow_rate`` add *worker* faults
+    (hung, killed, and merely slow lane workers) that the lane
+    supervisor — not the view-change protocol — must absorb; they only
+    bite under a parallel ``executor``, and a small
+    ``lane_deadline_s`` makes hangs trip the watchdog quickly.  The
+    baseline run stays fault-free and serial, so the verdict checks
+    the supervised run against the strictest reference.
     """
     cls = workload_by_name(workload)
     plan = FaultPlan.random(
         seed, epochs=epochs + 2, n_shards=shards,
-        churn_rate=0.25 if churn else 0.0)
+        churn_rate=0.25 if churn else 0.0,
+        hang_rate=hang_rate, kill_rate=kill_rate, slow_rate=slow_rate)
 
     baseline_reg, faulty_reg = MetricsRegistry(), MetricsRegistry()
     baseline = _run(cls(n_users=users, txns_per_epoch=txns, seed=seed),
                     epochs, None, shards, metrics=baseline_reg)
     faulty = _run(cls(n_users=users, txns_per_epoch=txns, seed=seed),
-                  epochs, plan, shards, metrics=faulty_reg)
+                  epochs, plan, shards, metrics=faulty_reg,
+                  executor=executor, lane_deadline_s=lane_deadline_s)
 
     result = ChaosResult(
         seed=seed, epochs=epochs, shards=shards, workload=workload,
@@ -122,6 +140,7 @@ def run_chaos(seed: int = 0, epochs: int = 5, shards: int = 4,
         baseline_fp=network_fingerprint(baseline),
         faulty_fp=network_fingerprint(faulty),
         churn=churn,
+        executor=executor,
         baseline_metrics=baseline_reg.snapshot(),
         faulty_metrics=faulty_reg.snapshot(),
     )
@@ -144,9 +163,10 @@ def run_chaos(seed: int = 0, epochs: int = 5, shards: int = 4,
 
 
 def format_chaos_report(result: ChaosResult) -> str:
+    mode = f", executor {result.executor}" if result.executor else ""
     lines = [
         f"chaos report — seed {result.seed}, {result.epochs} epochs, "
-        f"{result.shards} shards, workload {result.workload!r}",
+        f"{result.shards} shards, workload {result.workload!r}{mode}",
         "",
         f"fault plan ({len(result.plan)} events):",
     ]
@@ -175,6 +195,18 @@ def format_chaos_report(result: ChaosResult) -> str:
             b = base.get(name, {}).get("value", 0)
             f = faulty.get(name, {}).get("value", 0)
             lines.append(f"  {name:24s} {f:>8d}  ({b})")
+        # Lane-supervision activity (worker faults, retries, breaker
+        # trips).  Printed only when something happened, so a serial /
+        # worker-fault-free report stays byte-identical to older runs.
+        supervise = {
+            name: meter["value"]
+            for name, meter in sorted(faulty.items())
+            if name.startswith("supervise.") and meter.get("value")}
+        if supervise:
+            lines.append("")
+            lines.append("lane supervision (faulty run):")
+            for name, value in supervise.items():
+                lines.append(f"  {name:32s} {value:>8d}")
     lines.append(f"consistency: {result.verdict}")
     return "\n".join(lines)
 

@@ -264,7 +264,7 @@ def test_pool_failure_detail_recorded(monkeypatch):
     net.process_epoch(transfer_round())
     assert net.executor_fallbacks == 1
     assert net.executor_fallback_details == \
-        ["thread: RuntimeError: RuntimeError('pool exploded')"]
+        ["supervise: thread: RuntimeError: RuntimeError('pool exploded')"]
 
 
 def test_corpus_analysis_fallback_error_recorded(monkeypatch):
@@ -280,3 +280,92 @@ def test_corpus_analysis_fallback_error_recorded(monkeypatch):
     assert out.fallback_error == \
         "RuntimeError: RuntimeError('no threads today')"
     assert out.n_contracts == 3
+
+
+# -- typed durability errors (injected disk failures) -------------------------
+
+def test_wal_append_oserror_raises_walerror_and_poisons_log(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append("note", {"n": 1})
+    wal.barrier()
+
+    class FailingHandle:
+        def write(self, data):
+            raise OSError(28, "No space left on device")
+
+        def flush(self):
+            pass
+
+        def close(self):
+            pass
+    wal._handle = FailingHandle()
+    with pytest.raises(WALError, match="append failed.*OSError"):
+        wal.append("note", {"n": 2})
+    # The log is poisoned: every later call fails cleanly.
+    with pytest.raises(WALError, match="closed"):
+        wal.append("note", {"n": 3})
+    with pytest.raises(WALError, match="closed"):
+        wal.barrier()
+    # The on-disk log is intact up to the last complete record.
+    assert [r.data for r in read_wal(tmp_path)] == [{"n": 1}]
+
+
+def test_wal_barrier_fsync_oserror_raises_walerror(tmp_path,
+                                                   monkeypatch):
+    wal = WriteAheadLog(tmp_path)
+    wal.append("note", {"n": 1})
+    import os as os_mod
+
+    def failing_fsync(fd):
+        raise OSError(5, "Input/output error")
+    monkeypatch.setattr(os_mod, "fsync", failing_fsync)
+    with pytest.raises(WALError, match="barrier fsync failed"):
+        wal.barrier()
+    monkeypatch.undo()
+    assert [r.data for r in read_wal(tmp_path)] == [{"n": 1}]
+
+
+def test_snapshot_save_oserror_raises_storeerror(tmp_path,
+                                                 monkeypatch):
+    from repro.chain.store import StoreError
+    store = SnapshotStore(tmp_path)
+    good = {"epoch": 1, "wal_seq": 5, "payload": "ok"}
+    store.save({"epoch": 1, "wal_seq": 5, "payload": "ok"})
+
+    import os as os_mod
+
+    def failing_replace(src, dst):
+        raise OSError(28, "No space left on device")
+    monkeypatch.setattr(os_mod, "replace", failing_replace)
+    with pytest.raises(StoreError, match="snapshot write failed"):
+        store.save({"epoch": 2, "wal_seq": 9, "payload": "doomed"})
+    monkeypatch.undo()
+    # No temp litter; the previous snapshot set is intact and loadable.
+    assert not list(tmp_path.glob("*.tmp"))
+    assert [p.name for p in store.paths()] \
+        == [store._path(1, 5).name]
+    assert store.load_newest() == good
+
+
+def test_network_survives_snapshot_disk_failure_and_resumes(
+        tmp_path, monkeypatch):
+    from repro.chain.store import SnapshotError, StoreError
+    net = build_and_run(epochs=1, data_dir=tmp_path, snapshot_every=1)
+
+    import os as os_mod
+    real_fsync = os_mod.fsync
+
+    def failing_fsync(fd):
+        raise OSError(28, "No space left on device")
+    monkeypatch.setattr(os_mod, "fsync", failing_fsync)
+    with pytest.raises(SnapshotError):
+        net.snapshot()
+    monkeypatch.setattr(os_mod, "fsync", real_fsync)
+
+    # The epoch had already committed to the WAL: a fresh process
+    # resumes to the same state despite the failed snapshot.
+    expected = network_fingerprint(net)
+    net.close()
+    resumed = Network.resume(str(tmp_path))
+    assert network_fingerprint(resumed) == expected
+    resumed.close()

@@ -1,0 +1,304 @@
+"""Lane supervision tests: failure taxonomy, bounded logs, circuit
+breakers, per-lane retry/rescue, and poison-payload quarantine.
+
+The injected failures here go through the *real* supervised dispatch
+path (``Network.process_epoch`` with a parallel executor); only
+``run_lane_task`` is wrapped so individual lanes can be made to fail
+deterministically, without real hung workers or sleeps.
+"""
+
+import pytest
+
+from repro.chain import Network, call
+from repro.chain.faults import WorkerKilled
+from repro.chain.lanes import run_lane_task as real_run_lane_task
+from repro.chain.recovery import network_fingerprint
+from repro.chain.supervise import (
+    BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN, BoundedLog,
+    CircuitBreaker, LaneFailure, LaneFailureKind, ManualClock,
+    SuperviseConfig,
+)
+from repro.contracts import CORPUS
+from repro.obs.metrics import MetricsRegistry
+from repro.scilla.values import addr, uint, IntVal, StringVal
+from repro.scilla import types as ty
+
+TOKEN = "0x" + "c0" * 20
+ADMIN = "0x" + "ad" * 20
+USERS = ["0x" + f"{i:040x}" for i in range(1, 17)]
+
+
+def ft_network(**kwargs) -> Network:
+    kwargs.setdefault("metrics", MetricsRegistry())
+    net = Network(4, **kwargs)
+    net.create_account(ADMIN)
+    for u in USERS:
+        net.create_account(u)
+    net.deploy(CORPUS["FungibleToken"], TOKEN, {
+        "contract_owner": addr(ADMIN), "name": StringVal("T"),
+        "symbol": StringVal("T"), "decimals": IntVal(6, ty.UINT32),
+        "init_supply": uint(0),
+    }, sharded_transitions=("Mint", "Transfer", "TransferFrom"))
+    mint = [call(ADMIN, TOKEN, "Mint",
+                 {"recipient": addr(u), "amount": uint(1000)},
+                 nonce=i + 1)
+            for i, u in enumerate(USERS)]
+    net.process_epoch(mint, unlimited=True)
+    return net
+
+
+def transfer_round(nonce: int):
+    return [call(u, TOKEN, "Transfer",
+                 {"to": addr(USERS[(i + 1) % len(USERS)]),
+                  "amount": uint(3)}, nonce=nonce)
+            for i, u in enumerate(USERS)]
+
+
+class FailLanes:
+    """A thread-pool proxy whose submitted tasks fail for selected
+    lanes (``budget`` counts failures per lane), delegating to the
+    real ``run_lane_task`` otherwise.
+
+    Installed via ``monkeypatch`` over ``shared_thread_pool``, it
+    intercepts only *pool* attempts — the supervisor's in-coordinator
+    inline rescue calls ``run_lane_task`` directly and always runs the
+    real implementation, exactly like a real infrastructure fault.
+    """
+
+    def __init__(self, budget: dict[int, int],
+                 exc=WorkerKilled("injected")):
+        self.budget = dict(budget)        # lane -> remaining failures
+        self.exc = exc
+        self.calls: list[tuple[int, int]] = []   # (epoch, lane)
+
+    def install(self, monkeypatch):
+        from repro.core import parallel
+        real_pool = parallel.shared_thread_pool()
+        failer = self
+
+        class _Proxy:
+            def submit(self, fn, task):
+                return real_pool.submit(failer._run, task)
+
+        monkeypatch.setattr(parallel, "shared_thread_pool",
+                            lambda workers=None: _Proxy())
+        return self
+
+    def _run(self, task):
+        self.calls.append((task.epoch, task.lane))
+        if self.budget.get(task.lane, 0) > 0:
+            self.budget[task.lane] -= 1
+            raise self.exc
+        return real_run_lane_task(task)
+
+    def pool_lanes(self, since: int = 0) -> list[int]:
+        return [lane for _, lane in self.calls[since:]]
+
+
+# --------------------------------------------------------------------------
+# Taxonomy and bounded log.
+# --------------------------------------------------------------------------
+
+def test_lane_failure_formatting():
+    failure = LaneFailure(2, LaneFailureKind.TIMEOUT, "process", 7, 1,
+                          "no result within 0.5s")
+    assert str(failure) == ("epoch 7 lane 2 attempt 1 [process]: "
+                            "timeout — no result within 0.5s")
+    bare = LaneFailure(0, LaneFailureKind.PICKLE, "thread", 1, 0)
+    assert str(bare) == "epoch 1 lane 0 attempt 0 [thread]: pickle"
+
+
+def test_bounded_log_caps_and_counts_drops():
+    log = BoundedLog(maxlen=3)
+    for i in range(5):
+        log.append(f"entry {i}")
+    assert list(log) == ["entry 2", "entry 3", "entry 4"]
+    assert log.dropped == 2
+    # Sequence equality against plain lists (legacy assertions).
+    assert log == ["entry 2", "entry 3", "entry 4"]
+    assert log != ["entry 2"]
+    assert BoundedLog(["a"], dropped=7).dropped == 7
+
+
+# --------------------------------------------------------------------------
+# Circuit breaker state machine.
+# --------------------------------------------------------------------------
+
+def test_breaker_trips_after_consecutive_failures():
+    b = CircuitBreaker("thread", threshold=3, cooldown=2,
+                       cooldown_cap=8)
+    b.record_failure()
+    b.record_success()       # success resets the consecutive count
+    b.record_failure()
+    b.record_failure()
+    assert b.state == BREAKER_CLOSED
+    b.record_failure()
+    assert b.state == BREAKER_OPEN
+    assert (BREAKER_CLOSED, BREAKER_OPEN) in b.transitions
+
+
+def test_breaker_cooldown_then_half_open_probe():
+    b = CircuitBreaker("process", threshold=1, cooldown=2,
+                       cooldown_cap=8)
+    b.record_failure()
+    assert b.state == BREAKER_OPEN
+    assert not b.admits()            # cooldown epoch 1
+    assert b.admits()                # cooldown expired: probe admitted
+    assert b.state == BREAKER_HALF_OPEN
+    b.record_success()
+    assert b.state == BREAKER_CLOSED
+    assert b.cooldown == 2           # reset after a good probe
+
+
+def test_breaker_failed_probe_doubles_cooldown_capped():
+    b = CircuitBreaker("process", threshold=1, cooldown=2,
+                       cooldown_cap=5)
+    cooldowns = []
+    for _ in range(3):
+        b.record_failure()           # (re-)open
+        assert b.state == BREAKER_OPEN
+        cooldowns.append(b.cooldown)
+        while not b.admits():
+            pass                     # drain the cooldown
+        assert b.state == BREAKER_HALF_OPEN
+    assert cooldowns == [2, 4, 5]    # doubled, then capped
+
+
+# --------------------------------------------------------------------------
+# Supervised dispatch: retry, rescue, quarantine, degradation.
+# --------------------------------------------------------------------------
+
+def supervised_net(**overrides):
+    cfg = SuperviseConfig(deadline_s=30.0, backoff_base_s=0.0,
+                          backoff_jitter=0.0, **overrides)
+    return ft_network(executor="thread", supervise=cfg,
+                      clock=ManualClock())
+
+
+def test_transient_worker_death_is_retried_in_pool(monkeypatch):
+    serial = ft_network()
+    serial.process_epoch(transfer_round(nonce=2))
+
+    net = supervised_net()
+    failer = FailLanes({1: 1}).install(monkeypatch)
+    net.process_epoch(transfer_round(nonce=2))
+
+    assert network_fingerprint(net) == network_fingerprint(serial)
+    assert net.executor_fallbacks == 0
+    counters = net.metrics.snapshot()["counters"]
+    assert counters["supervise.failures.worker-death"]["value"] == 1
+    assert counters["supervise.lane_retries"]["value"] == 1
+    assert "supervise.lane_rescues" not in counters or \
+        counters["supervise.lane_rescues"]["value"] == 0
+
+
+def test_exhausted_lane_rescued_inline_keeps_sibling_results(
+        monkeypatch):
+    serial = ft_network()
+    serial.process_epoch(transfer_round(nonce=2))
+
+    net = supervised_net(max_lane_retries=1)
+    failer = FailLanes({1: 99}).install(monkeypatch)
+    net.process_epoch(transfer_round(nonce=2))
+
+    # The epoch still matches serial exactly: lane 1 was re-executed
+    # inline while lanes 0/2/3 kept their pool results.
+    assert network_fingerprint(net) == network_fingerprint(serial)
+    assert net.executor_fallbacks == 0
+    counters = net.metrics.snapshot()["counters"]
+    assert counters["supervise.lane_rescues"]["value"] == 1
+    assert counters["supervise.failures.worker-death"]["value"] == 2
+    # Siblings ran in the pool exactly once each; lane 1 got the
+    # initial attempt plus one retry.
+    assert [lane for lane in failer.pool_lanes() if lane != 1] \
+        == [0, 2, 3]
+    assert failer.pool_lanes().count(1) == 2
+
+
+def test_poison_lane_is_quarantined_then_pinned_inline(monkeypatch):
+    serial = ft_network()
+
+    net = supervised_net(max_lane_retries=0, quarantine_threshold=2)
+    failer = FailLanes({2: 99}).install(monkeypatch)
+
+    net.process_epoch(transfer_round(nonce=2))
+    serial.process_epoch(transfer_round(nonce=2))
+    assert 2 not in net.supervisor.quarantined      # one strike
+    net.process_epoch(transfer_round(nonce=3))
+    serial.process_epoch(transfer_round(nonce=3))
+    assert 2 in net.supervisor.quarantined          # two strikes: pinned
+    record = net.supervisor.quarantined[2]
+    assert record.lane == 2 and len(record.failures) == 2
+
+    # Once pinned, the lane goes straight to the inline path: the pool
+    # never sees it again, but its transactions still execute.
+    calls_before = len(failer.calls)
+    net.process_epoch(transfer_round(nonce=4))
+    serial.process_epoch(transfer_round(nonce=4))
+    assert 2 not in failer.pool_lanes(calls_before)
+    assert network_fingerprint(net) == network_fingerprint(serial)
+    counters = net.metrics.snapshot()["counters"]
+    assert counters["supervise.quarantine.additions"]["value"] == 1
+    gauges = net.metrics.snapshot()["gauges"]
+    assert gauges["supervise.quarantine.size"]["value"] == 1
+
+
+def test_recovered_lane_resets_quarantine_strikes(monkeypatch):
+    net = supervised_net(max_lane_retries=0, quarantine_threshold=2)
+    # One faulty epoch, then healthy.
+    failer = FailLanes({2: 1}).install(monkeypatch)
+    net.process_epoch(transfer_round(nonce=2))
+    net.process_epoch(transfer_round(nonce=3))
+    net.process_epoch(transfer_round(nonce=4))
+    assert net.supervisor.quarantined == {}
+
+
+def test_breaker_open_degrades_thread_to_serial(monkeypatch):
+    serial = ft_network()
+    serial.process_epoch(transfer_round(nonce=2))
+
+    net = supervised_net(breaker_threshold=1, breaker_cooldown=2,
+                         max_lane_retries=0)
+    failer = FailLanes({0: 99, 1: 99, 2: 99, 3: 99}).install(monkeypatch)
+    net.process_epoch(transfer_round(nonce=2))   # trips the breaker
+    assert net.supervisor.breakers["thread"].state == BREAKER_OPEN
+
+    # The next epoch is not even offered to the pool: the supervisor
+    # degrades to the caller's serial loop.
+    calls_before = len(failer.calls)
+    net.process_epoch(transfer_round(nonce=3))
+    assert len(failer.calls) == calls_before
+    assert network_fingerprint(net) == network_fingerprint(serial)
+    counters = net.metrics.snapshot()["counters"]
+    assert counters["supervise.breaker.trips"]["value"] == 1
+    assert counters["supervise.degraded_epochs"]["value"] >= 1
+    gauges = net.metrics.snapshot()["gauges"]
+    assert gauges["supervise.breaker.thread_state"]["value"] == 2
+
+
+def test_breaker_probe_recovers_after_cooldown(monkeypatch):
+    net = supervised_net(breaker_threshold=1, breaker_cooldown=1,
+                         max_lane_retries=0)
+    failer = FailLanes({0: 99, 1: 99, 2: 99, 3: 99}).install(monkeypatch)
+    net.process_epoch(transfer_round(nonce=2))   # trip
+    assert net.supervisor.breakers["thread"].state == BREAKER_OPEN
+    failer.budget = {}                           # infrastructure healed
+    net.process_epoch(transfer_round(nonce=3))   # half-open probe
+    assert net.supervisor.breakers["thread"].state == BREAKER_CLOSED
+    counters = net.metrics.snapshot()["counters"]
+    assert counters["supervise.breaker.probes"]["value"] == 1
+    assert counters["supervise.breaker.recoveries"]["value"] == 1
+
+
+def test_fallback_details_stay_bounded(monkeypatch):
+    net = supervised_net(max_lane_retries=0, quarantine_threshold=10**9,
+                         breaker_threshold=10**9)
+    FailLanes({1: 10**9, 2: 10**9}).install(monkeypatch)
+    for nonce in range(2, 40):
+        net.process_epoch(transfer_round(nonce=nonce))
+    details = net.executor_fallback_details
+    assert len(details) == details.maxlen
+    assert details.dropped > 0
+    gauges = net.metrics.snapshot()["gauges"]
+    assert gauges["net.executor.fallback_dropped"]["value"] == \
+        details.dropped
