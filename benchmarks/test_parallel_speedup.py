@@ -1,19 +1,17 @@
-"""Serial-vs-parallel corpus analysis benchmark.
+"""Resident-worker epoch throughput benchmark.
 
-Records wall-clock for analysing the whole corpus serially and through
-the shared process pool, plus SummaryCache hit rates, into
-``benchmarks/results/parallel_analysis.txt`` and the repo-root
-``BENCH_parallel.json``.  The speedup assertion is a separate test that
-skips (rather than fails) on runners without enough cores.
+Records wall-clock for the eight Fig. 14 workloads through the serial
+loop, fresh per-epoch lane payloads, and resident shard workers, into
+``benchmarks/results/parallel_epochs.txt`` and the repo-root
+``BENCH_parallel.json``.  The headline speedup — fresh over resident
+at equal worker counts — does not need spare cores, so the assertion
+runs everywhere; it retries with more epochs before declaring a miss.
 """
 
 import json
-import os
 from pathlib import Path
 
-import pytest
-
-from repro.eval.analysis_perf import (
+from repro.eval.parallel_bench import (
     format_parallel_bench,
     run_parallel_bench,
     write_parallel_bench,
@@ -24,32 +22,35 @@ BENCH_JSON = REPO_ROOT / "BENCH_parallel.json"
 
 
 def test_parallel_bench_records_results(save_result):
-    result = run_parallel_bench(repetitions=1)
-    save_result("parallel_analysis", format_parallel_bench(result))
+    result = run_parallel_bench(workers=4, epochs=6)
+    save_result("parallel_epochs", format_parallel_bench(result))
     write_parallel_bench(result, BENCH_JSON)
 
     payload = json.loads(BENCH_JSON.read_text())
-    # Everything but the timing block is a deterministic function of
-    # the corpus and configuration.
-    assert payload["benchmark"] == "parallel-analysis"
-    assert payload["n_contracts"] == result.n_contracts > 0
-    assert payload["cache"]["hits"] == result.n_contracts
-    assert payload["cache"]["misses"] == result.n_contracts
-    assert payload["cache"]["hit_rate"] == 0.5
-    assert set(payload["timing"]) == {"serial_s", "parallel_s", "speedup"}
-    assert result.serial_s > 0 and result.parallel_s > 0
+    # Everything but the timings is a deterministic function of the
+    # workload suite and configuration.
+    assert payload["benchmark"] == "parallel-epochs"
+    assert payload["workers"]["requested"] == 4
+    assert payload["workers"]["effective"] == 4
+    assert len(payload["workloads"]) == 8
+    assert payload["fallbacks"] == 0
+    # The resident path engaged: every workload installed all 4 lanes
+    # and kept syncing them afterwards.
+    assert payload["resident"]["lane.resident.installs"] >= 8 * 4
+    assert payload["resident"]["lane.resident.sync_pushes"] > 0
+    assert result.fresh_s > 0 and result.resident_s > 0
 
 
-@pytest.mark.skipif((os.cpu_count() or 1) < 4,
-                    reason="speedup needs at least 4 cores")
-def test_parallel_speedup_at_least_1_5x_on_4_workers():
-    # One repetition can be noisy (pool spin-up, CI neighbours); retry
-    # with more repetitions before declaring a miss.
-    for repetitions in (1, 3, 5):
-        result = run_parallel_bench(workers=4, repetitions=repetitions)
-        if result.speedup >= 1.5:
+def test_resident_speedup_at_least_2x_on_4_workers():
+    # One short run can be noisy (pool spin-up, CI neighbours); retry
+    # with more epochs — which amortise the one-time install — before
+    # declaring a miss.
+    for epochs in (8, 12, 16):
+        result = run_parallel_bench(workers=4, epochs=epochs)
+        if result.speedup >= 2.0:
             break
-    assert result.speedup >= 1.5, (
-        f"expected >=1.5x with 4 workers, got {result.speedup:.2f}x "
-        f"(serial {result.serial_s:.3f}s, parallel {result.parallel_s:.3f}s)")
-    assert not result.fell_back
+    assert result.speedup >= 2.0, (
+        f"expected >=2x fresh/resident with 4 workers, got "
+        f"{result.speedup:.2f}x (fresh {result.fresh_s:.3f}s, "
+        f"resident {result.resident_s:.3f}s)")
+    assert result.fallbacks == 0

@@ -170,6 +170,16 @@ class LaneResult:
                 nonces.last_global[sender] = value
         for sender, value in self.nonce_last_lane.items():
             nonces.last_per_lane[(sender, self.lane)] = value
+        # Resident replicas must learn these nonce moves at the next
+        # sync (account moves are already recorded via net._account).
+        tracker = getattr(net, "_resident_tracker", None)
+        if tracker is not None:
+            for sender in self.nonce_used_added:
+                tracker.touch_nonce(sender)
+            for sender in self.nonce_last_global:
+                tracker.touch_nonce(sender)
+            for sender in self.nonce_last_lane:
+                tracker.touch_nonce(sender)
 
 
 # --------------------------------------------------------------------------
@@ -458,27 +468,17 @@ def _footprint_escapes(task: LaneTask,
     return escapes
 
 
-def run_lane_task(task: LaneTask) -> LaneResult:
-    """Execute one lane in complete isolation.
+def instantiate_lane_network(task: LaneTask, registry=None):
+    """Rebuild a private, fully isolated ``Network`` from a task
+    snapshot — the worker-side half of :func:`build_lane_task`.
 
-    Builds a private Network holding only copies of the task snapshot
-    and runs the ordinary sequential ``_run_lane`` over the queue, so
-    the execution semantics are *the same code* as the serial
-    executor's — parallelism changes scheduling, never meaning.
+    Shared by the per-epoch executor (:func:`run_lane_task`) and the
+    resident-replica install path (:mod:`repro.chain.resident`), so a
+    replica starts from *exactly* the state a one-shot worker would
+    have seen.
     """
-    from ..obs.metrics import MetricsRegistry
     from .network import DeployedContract, Network
 
-    if task.worker_fault is not None:
-        action, seconds = task.worker_fault
-        if action == "kill-process":
-            os._exit(13)
-        if action == "kill-thread":
-            raise WorkerKilled(
-                f"lane {task.lane}: injected worker kill")
-        time.sleep(seconds)   # "hang" (past deadline) / "slow" (within)
-
-    registry = MetricsRegistry() if task.metrics_enabled else None
     net = Network(task.n_shards, use_signatures=task.use_signatures,
                   overflow_guard=task.overflow_guard, executor="serial",
                   metrics=registry)
@@ -500,6 +500,30 @@ def run_lane_task(task: LaneTask) -> LaneResult:
     net.nonces.used = {s: set(v) for s, v in task.nonce_used.items()}
     net.nonces.last_per_lane = {
         (s, task.lane): v for s, v in task.nonce_last_lane.items()}
+    return net
+
+
+def run_lane_task(task: LaneTask) -> LaneResult:
+    """Execute one lane in complete isolation.
+
+    Builds a private Network holding only copies of the task snapshot
+    and runs the ordinary sequential ``_run_lane`` over the queue, so
+    the execution semantics are *the same code* as the serial
+    executor's — parallelism changes scheduling, never meaning.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    if task.worker_fault is not None:
+        action, seconds = task.worker_fault
+        if action == "kill-process":
+            os._exit(13)
+        if action == "kill-thread":
+            raise WorkerKilled(
+                f"lane {task.lane}: injected worker kill")
+        time.sleep(seconds)   # "hang" (past deadline) / "slow" (within)
+
+    registry = MetricsRegistry() if task.metrics_enabled else None
+    net = instantiate_lane_network(task, registry)
 
     mb, local_states, touched, deferred = net._run_lane(
         task.lane, task.queue, task.gas_limit)

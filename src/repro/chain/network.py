@@ -240,6 +240,27 @@ class _NetworkMeters:
             "supervise.quarantine.additions", deterministic=False)
         self.fallback_dropped = m.gauge("net.executor.fallback_dropped",
                                         deterministic=False)
+        # Resident shard workers (repro.chain.resident) and epoch
+        # pipelining: installs/syncs respond to worker lifecycle and
+        # wall-clock overlap, so every instrument is non-deterministic.
+        self.resident_installs = m.counter("lane.resident.installs",
+                                           deterministic=False)
+        self.resident_reinstalls = m.counter("lane.resident.reinstalls",
+                                             deterministic=False)
+        self.resident_sync_deltas = m.counter("lane.resident.sync_deltas",
+                                              deterministic=False)
+        self.resident_sync_pushes = m.counter("lane.resident.sync_pushes",
+                                              deterministic=False)
+        self.resident_install_bytes = m.counter(
+            "lane.resident.install_bytes", deterministic=False)
+        self.resident_sync_bytes = m.counter("lane.resident.sync_bytes",
+                                             deterministic=False)
+        self.resident_stale = m.counter("lane.resident.stale",
+                                        deterministic=False)
+        self.pipeline_overlap_ns = m.histogram(
+            "pipeline.overlap_ns", NS_BUCKETS, deterministic=False)
+        self.pipeline_commit_deferrals = m.counter(
+            "pipeline.commit_deferrals", deterministic=False)
 
 
 @dataclass
@@ -279,6 +300,8 @@ class Network:
                  slice_payloads: bool | None = None,
                  lane_deadline_s: float | None = None,
                  supervise: SuperviseConfig | None = None,
+                 resident: bool | None = None,
+                 pipeline: bool | None = None,
                  clock=None,
                  metrics=None,
                  tracer=None):
@@ -328,6 +351,29 @@ class Network:
                 f"{EXECUTOR_STRATEGIES}")
         self.executor = executor
         self.lane_workers = lane_workers
+        # Resident shard workers (repro.chain.resident): long-lived
+        # per-lane worker replicas holding installed shard state, fed
+        # only transactions + merge-delta syncs per epoch.  Like the
+        # executor and slicing, a pure runtime choice — results are
+        # byte-identical either way (tests/test_resident_differential
+        # is the oracle) — defaulting on via REPRO_RESIDENT_LANES.
+        if resident is None:
+            resident = os.environ.get("REPRO_RESIDENT_LANES", "1") != "0"
+        self.resident = resident
+        # Epoch pipelining (opt-in via REPRO_PIPELINE): the commit
+        # record's fsync is deferred into the next epoch's input
+        # barrier, overlapping commit durability with dispatch.  Crash
+        # safety is unchanged — inputs are still fsynced before
+        # execution, and a lost trailing commit record only skips the
+        # replay digest check for that epoch, never loses inputs.
+        if pipeline is None:
+            pipeline = os.environ.get("REPRO_PIPELINE", "0") == "1"
+        self.pipeline = pipeline
+        self._commit_barrier_pending = False
+        self._resident_tracker = None
+        if resident and self.executor != "serial":
+            from .resident import ResidentTracker
+            self._resident_tracker = ResidentTracker()
         # Lane supervision (repro.chain.supervise): per-lane deadlines,
         # hung-worker watchdog, retry with backoff, and the executor
         # circuit-breaker ladder.  The deadline defaults to the cost
@@ -408,6 +454,8 @@ class Network:
         account = Account(address, balance)
         account.split_across(self.n_shards, self.dispatcher.home_shard(address))
         self.accounts[address] = account
+        if self._resident_tracker is not None:
+            self._resident_tracker.touch_account(address)
         return account
 
     def _account(self, address: str) -> Account:
@@ -416,6 +464,11 @@ class Network:
             # Lazily-created zero-balance accounts are a deterministic
             # consequence of execution; they are not WAL inputs.
             return self._create_account(address, balance=0)
+        if self._resident_tracker is not None:
+            # Every account mutation goes through here (apply_effects,
+            # serial lanes, DS lane, payouts), so recording the handout
+            # over-approximates the epoch's touched-account set.
+            self._resident_tracker.touch_account(address)
         return self.accounts[address]
 
     def deploy(self, source: str, address: str,
@@ -487,6 +540,10 @@ class Network:
         deployed = DeployedContract(address, result.module, interpreter,
                                     state, signature, source, footprints)
         self.contracts[address] = deployed
+        if self._resident_tracker is not None:
+            # No sync can express a new contract: resident replicas
+            # reinstall from scratch at the next dispatch.
+            self._resident_tracker.mark_structure_change()
         self.dispatcher.register_contract(DeployedSignature(
             address, signature, dict(state.immutables)))
         return deployed
@@ -512,6 +569,9 @@ class Network:
         meters.wal_appends.inc()
         if barrier:
             meters.wal_barriers.inc()
+            # A WAL barrier fsyncs every earlier append, including a
+            # pipelined commit record whose own fsync was deferred.
+            self._commit_barrier_pending = False
 
     def wal_note(self, data) -> None:
         """Record a durable, application-level annotation (replayed on
@@ -524,6 +584,11 @@ class Network:
         segments and snapshots the retention policy no longer needs."""
         if self.wal is None or self.store is None:
             return
+        if self._commit_barrier_pending:
+            # A pipelined commit record is still unflushed; the
+            # snapshot below must not claim durability past it.
+            self.wal.barrier()
+            self._commit_barrier_pending = False
         from .store import snapshot_network
         obj = snapshot_network(self, wal_seq=self.wal.last_seq)
         self.store.save(obj)
@@ -534,6 +599,9 @@ class Network:
 
     def close(self) -> None:
         if self.wal is not None:
+            if self._commit_barrier_pending:
+                self._commit_barrier_pending = False
+                self.wal.barrier()
             self.wal.close()
 
     def _config_obj(self):
@@ -859,11 +927,28 @@ class Network:
         self.epoch_tags[wal_tag] = self.epoch_tags.get(wal_tag, 0) + 1
         # The commit record pins the post-epoch fingerprint so replay
         # can detect divergence instead of silently continuing from a
-        # wrong state.
-        self._wal_append("commit", {
-            "epoch": self.epoch,
-            "digest": fingerprint_digest(self),
-        }, barrier=True)
+        # wrong state.  Under pipelining its fsync rides the *next*
+        # epoch's input barrier (or the next snapshot/close): a crash
+        # in the gap loses only this record, and replay re-executes the
+        # epoch from its durable inputs — it merely skips one digest
+        # check, never state.
+        if self.wal is not None and not self._replaying:
+            # Only durable networks pay for the digest: _wal_append is
+            # a no-op without a WAL, and the fingerprint walk is O(full
+            # state) per epoch.
+            self._wal_append("commit", {
+                "epoch": self.epoch,
+                "digest": fingerprint_digest(self),
+            }, barrier=not self.pipeline)
+            if self.pipeline:
+                self._commit_barrier_pending = True
+                self._meters.pipeline_commit_deferrals.inc()
+        if self._resident_tracker is not None:
+            # Push this epoch's merge-deltas to the resident replicas
+            # asynchronously — the pipelining overlap: syncs apply in
+            # the workers while the coordinator finalises the block and
+            # prepares the next epoch.
+            self._resident_tracker.commit_epoch(self)
         if self.wal is not None and not self._replaying:
             self._commits_since_snapshot += 1
             if self._commits_since_snapshot >= self.snapshot_every:
@@ -1023,12 +1108,19 @@ class Network:
         # Phase 2: DS merges shard deltas (FSD).
         t_merge = time.perf_counter_ns() if self.metrics.enabled else 0
         merged_locations = 0
+        tracker = self._resident_tracker
         with self.tracer.span("merge"):
             for addr, deltas in all_deltas.items():
                 contract = self.contracts[addr]
                 merged, changed = merge_deltas(contract.state, deltas)
                 self._rebind_state(contract, merged)
                 merged_locations += changed
+                if tracker is not None:
+                    # Resident replicas learn exactly these locations
+                    # at the post-commit sync.
+                    for delta in deltas:
+                        tracker.touch_state(
+                            addr, (e.key for e in delta.entries))
             for addr, bdelta in balance_deltas.items():
                 if bdelta:
                     self.contracts[addr].state.balance += bdelta
@@ -1041,8 +1133,13 @@ class Network:
         # excluded lane (the recovery path of the view change).
         recovered_ids = {tx.tx_id for tx in recovered}
         with self.tracer.span("ds lane"):
-            ds_block, _, _, ds_deferred = self._run_lane(
+            ds_block, _, ds_touched, ds_deferred = self._run_lane(
                 DS, ds_queue, ds_limit, use_global_state=True)
+        if tracker is not None:
+            # The DS lane mutates the merged global state directly;
+            # its write set is part of the epoch's sync.
+            for addr, keys in ds_touched.items():
+                tracker.touch_state(addr, keys)
         stats.deferred += len(ds_deferred)
         deferred.extend((DS, tx) for tx in ds_deferred)
         stats.recovered = len(recovered)
@@ -1132,6 +1229,10 @@ class Network:
     def _execute(self, tx: Transaction, lane: int, state_for,
                  touched: dict[str, set[StateKey]]) -> Receipt:
         sender = self._account(tx.sender)
+        if self._resident_tracker is not None:
+            # try_accept moves this sender's nonce record (even a
+            # rejection touches the used-set table).
+            self._resident_tracker.touch_nonce(_pad(tx.sender))
         if not self.nonces.try_accept(_pad(tx.sender), tx.nonce, lane):
             return Receipt(tx, False, 0, lane, error="bad nonce")
 

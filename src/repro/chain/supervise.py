@@ -417,8 +417,12 @@ class LaneSupervisor:
         strategy = self._admit(strategy, net)
         if strategy == "serial":
             return None
+        resident = getattr(net, "_resident_tracker", None) is not None
         with net.tracer.span(f"supervise {strategy}"):
             try:
+                if resident:
+                    return self._run_supervised_resident(
+                        net, lanes, gas_limit, strategy)
                 return self._run_supervised(net, lanes, gas_limit,
                                             strategy)
             except Exception as exc:   # coordinator-side surprise
@@ -437,7 +441,6 @@ class LaneSupervisor:
         )
         cfg = self.config
         meters = net._meters
-        breaker = self.breakers[strategy]
         ship_modules = strategy == "thread"
         clock = self.clock
 
@@ -591,32 +594,63 @@ class LaneSupervisor:
         # Last resort: re-execute irrecoverable lanes serially in the
         # coordinator, from fresh fault-free snapshots.  Sibling lanes'
         # pool results stay untouched (the per-lane fallback bugfix).
+        if not self._inline_rescue(net, queues, gas_limit, strategy,
+                                   inline, attempts, results):
+            return None
+
+        for lane in attempts:
+            meters.supervise_attempts.observe(attempts[lane] + 1)
+        self._update_quarantine(net, lanes, strike_failures)
+        self._finish_breakers(net, strategy, infra_seen)
+        return results
+
+    def _inline_rescue(self, net, queues, gas_limit, strategy, inline,
+                       attempts, results) -> bool:
+        """Re-execute irrecoverable lanes serially in the coordinator,
+        sliced first, unsliced on a footprint escape.  Returns False
+        only when an *unsliced* payload still escapes — the epoch then
+        falls back to the caller's whole-serial loop."""
+        meters = net._meters
+        ship_modules = strategy == "thread"
+
+        def rescue_task(lane, sliced):
+            saved = net.slice_payloads
+            if not sliced:
+                net.slice_payloads = False
+            try:
+                task = build_lane_task(net, lane, queues[lane],
+                                       gas_limit,
+                                       ship_modules=ship_modules)
+            finally:
+                net.slice_payloads = saved
+            if ship_modules:
+                # Never share an interpreter with a pool attempt that
+                # may still be limping along in the background.
+                task.runtime_cache = {}
+            return task
+
         for lane in sorted(inline):
-            reason = inline[lane]
-            sliced = reason != "footprint-escape"
-            task = make_task(lane, attempts[lane], inject=False,
-                             sliced=sliced)
-            result = run_lane_task(task)
+            sliced = inline[lane] != "footprint-escape"
+            result = run_lane_task(rescue_task(lane, sliced))
             if result.footprint_escapes and sliced:
                 self._record(net, LaneFailure(
                     lane, LaneFailureKind.FOOTPRINT_ESCAPE, strategy,
                     net.epoch, attempts[lane],
                     "; ".join(result.footprint_escapes)))
-                task = make_task(lane, attempts[lane], inject=False,
-                                 sliced=False)
-                result = run_lane_task(task)
+                result = run_lane_task(rescue_task(lane, sliced=False))
             if result.footprint_escapes:   # unsliced: cannot happen
                 net.executor_fallback_details.append(
                     f"supervise: lane {lane} escaped an unsliced "
                     f"payload; epoch falls back to serial")
-                return None
+                return False
             meters.lane_rescues.inc()
             results[lane] = result
+        return True
 
-        for lane in attempts:
-            meters.supervise_attempts.observe(attempts[lane] + 1)
-        self._update_quarantine(net, lanes, strike_failures)
-
+    def _finish_breakers(self, net, strategy, infra_seen: bool) -> None:
+        """Record the run's breaker outcome and export gauge states."""
+        meters = net._meters
+        breaker = self.breakers[strategy]
         before = breaker.state
         if infra_seen:
             breaker.record_failure()
@@ -635,4 +669,225 @@ class LaneSupervisor:
                     f"supervise: {strategy} breaker recovered "
                     f"(epoch {net.epoch})")
         self._export_breakers(meters)
+
+    # -- the resident-worker run ---------------------------------------------
+
+    def _run_supervised_resident(self, net, lanes, gas_limit,
+                                 strategy) -> dict[int, LaneResult] | None:
+        """Supervised dispatch onto resident shard workers.
+
+        Same deadline/retry/watchdog/breaker semantics as
+        :meth:`_run_supervised`, but tasks are
+        :class:`~repro.chain.resident.ResidentEpochTask` messages to
+        per-lane slots: only the queue ships per epoch, plus a one-time
+        install for lanes the tracker does not believe current.  Two
+        failure modes are new: a :class:`ResidentStale` reply (worker
+        restarted or missed a sync) retries once with an install
+        attached, and the process watchdog reaps single *slots* — every
+        replica living in a killed slot is forgotten so the next epoch
+        reinstalls it from authoritative state.
+        """
+        from ..core.parallel import get_resident_pool
+        from .resident import (
+            ResidentEpochTask, ResidentStale, build_install_task,
+            run_resident_epoch,
+        )
+        cfg = self.config
+        meters = net._meters
+        ship_modules = strategy == "thread"
+        clock = self.clock
+        tracker = net._resident_tracker
+
+        # Fold setup-time changes (create_account, deploy) into a
+        # version bump before dispatching on top of them, and observe
+        # how long ago the previous commit's async sync push started —
+        # the coordinator-side measure of pipeline overlap.
+        if net.metrics.enabled and tracker.last_push_ns:
+            meters.pipeline_overlap_ns.observe(
+                max(0, time.perf_counter_ns() - tracker.last_push_ns))
+            tracker.last_push_ns = 0
+        tracker.flush_out_of_band(net)
+        version = tracker.version
+
+        worker_faults = (net.injector.worker_faults(net.epoch)
+                         if net.injector is not None else {})
+        pool = get_resident_pool(strategy, net.lane_workers)
+        queues = dict(lanes)
+        results: dict[int, LaneResult] = {}
+        inline: dict[int, str] = {}        # lane -> reason
+        attempts = {lane: 0 for lane in queues}
+        infra_seen = False
+        strike_failures: dict[int, LaneFailure] = {}
+        force_install: set[int] = set()    # attach an install next send
+        stale_retried: set[int] = set()    # one stale retry per lane
+        pending = []
+        for lane, _ in lanes:
+            if lane in self.quarantined:
+                inline[lane] = "quarantined"
+            else:
+                pending.append(lane)
+                if tracker.installed.get((strategy, lane)) != version:
+                    force_install.add(lane)
+
+        def make_task(lane, attempt, inject):
+            install = None
+            if lane in force_install:
+                install = build_install_task(net, lane, ship_modules)
+                (meters.resident_reinstalls
+                 if attempt > 0 or lane in stale_retried
+                 else meters.resident_installs).inc()
+            task = ResidentEpochTask(
+                gen=tracker.gen, lane=lane, epoch=net.epoch,
+                version=version, queue=queues[lane],
+                gas_limit=gas_limit, install=install,
+                metrics_enabled=net.metrics.enabled)
+            if inject and attempt == 0:
+                kind = worker_faults.get(lane)
+                if kind is not None:
+                    task.worker_fault = self._fault_payload(kind,
+                                                            strategy)
+            return task
+
+        round_no = 0
+        while pending:
+            round_no += 1
+            if round_no > 1:
+                delay = self.backoff_delay(net.epoch, round_no - 1)
+                meters.supervise_backoff_ms.observe(delay * 1000.0)
+                clock.sleep(delay)
+            futures = {}
+            failures: dict[int, LaneFailure] = {}
+            stale_again: list[int] = []
+            for lane in sorted(pending):
+                try:
+                    task = make_task(lane, attempts[lane], inject=True)
+                    if strategy == "process" and net.metrics.enabled \
+                            and task.install is not None:
+                        meters.resident_install_bytes.inc(
+                            len(pickle.dumps(task)))
+                    futures[lane] = pool.submit(lane, run_resident_epoch,
+                                                task)
+                except pickle.PickleError as exc:
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.PICKLE, strategy,
+                        net.epoch, attempts[lane], repr(exc))
+                except Exception as exc:
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.POOL_BROKEN, strategy,
+                        net.epoch, attempts[lane],
+                        f"submit failed: {type(exc).__name__}: {exc!r}")
+
+            start = clock.monotonic()
+            deadline = start + cfg.deadline_s
+            for lane in sorted(futures):
+                future = futures[lane]
+                remaining = max(0.0, deadline - clock.monotonic())
+                try:
+                    result = future.result(timeout=remaining)
+                except FutureTimeout:
+                    if ship_modules:
+                        # Dequeue a not-yet-started thread task; the
+                        # slot kill below handles process slots.
+                        future.cancel()
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.TIMEOUT, strategy,
+                        net.epoch, attempts[lane],
+                        f"no result within {cfg.deadline_s:.3g}s")
+                except WorkerKilled as exc:
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.WORKER_DEATH, strategy,
+                        net.epoch, attempts[lane], str(exc))
+                except BrokenExecutor as exc:
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.WORKER_DEATH, strategy,
+                        net.epoch, attempts[lane],
+                        f"{type(exc).__name__}: {exc}")
+                except pickle.PickleError as exc:
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.PICKLE, strategy,
+                        net.epoch, attempts[lane], repr(exc))
+                except Exception as exc:
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.POOL_BROKEN, strategy,
+                        net.epoch, attempts[lane],
+                        f"{type(exc).__name__}: {exc!r}")
+                else:
+                    if clock.monotonic() - start > cfg.deadline_s / 2:
+                        meters.slow_lanes.inc()
+                    if isinstance(result, ResidentStale):
+                        # Restarted worker, evicted replica, or a sync
+                        # push that never landed: never wrong, just
+                        # behind.  One retry with an install attached;
+                        # a second stale means the slot is churning —
+                        # rescue inline and let the next epoch install.
+                        meters.resident_stale.inc()
+                        tracker.installed.pop((strategy, lane), None)
+                        net.executor_fallback_details.append(
+                            f"supervise: lane {lane} resident replica "
+                            f"stale (found v{result.found_version}, "
+                            f"want v{version}); reinstalling")
+                        if lane in stale_retried:
+                            inline[lane] = "resident-stale"
+                        else:
+                            stale_retried.add(lane)
+                            force_install.add(lane)
+                            meters.lane_retries.inc()
+                            stale_again.append(lane)
+                    else:
+                        results[lane] = result
+                        tracker.installed[(strategy, lane)] = version
+
+            # Watchdog: reap wedged/broken *slots* (not the whole
+            # pool), and forget every replica that lived in them.
+            if strategy == "process" and failures:
+                acted_slots: set[int] = set()
+                for lane in sorted(failures):
+                    kind = failures[lane].kind
+                    slot = pool.slot_for(lane)
+                    if slot in acted_slots:
+                        continue
+                    if kind is LaneFailureKind.TIMEOUT:
+                        acted_slots.add(slot)
+                        pool.kill_slot(lane)
+                        meters.pool_rebuilds.inc()
+                    elif kind in (LaneFailureKind.WORKER_DEATH,
+                                  LaneFailureKind.POOL_BROKEN):
+                        acted_slots.add(slot)
+                        pool.reset_slot(lane)
+                        meters.pool_rebuilds.inc()
+                if acted_slots:
+                    for key in [k for k in tracker.installed
+                                if k[0] == strategy
+                                and pool.slot_for(k[1]) in acted_slots]:
+                        del tracker.installed[key]
+
+            pending = stale_again
+            for lane in sorted(failures):
+                failure = failures[lane]
+                self._record(net, failure)
+                if failure.kind in INFRA_FAILURES:
+                    infra_seen = True
+                    # Whatever the worker was holding is suspect.
+                    tracker.installed.pop((strategy, lane), None)
+                    force_install.add(lane)
+                attempts[lane] += 1
+                if failure.kind is LaneFailureKind.PICKLE:
+                    inline[lane] = "pickle"    # a retry cannot fix it
+                    strike_failures[lane] = failure
+                elif attempts[lane] <= cfg.max_lane_retries:
+                    meters.lane_retries.inc()
+                    pending.append(lane)
+                else:
+                    inline[lane] = "retries-exhausted"
+                    if failure.kind in INFRA_FAILURES:
+                        strike_failures[lane] = failure
+
+        if not self._inline_rescue(net, queues, gas_limit, strategy,
+                                   inline, attempts, results):
+            return None
+
+        for lane in attempts:
+            meters.supervise_attempts.observe(attempts[lane] + 1)
+        self._update_quarantine(net, lanes, strike_failures)
+        self._finish_breakers(net, strategy, infra_seen)
         return results

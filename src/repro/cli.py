@@ -162,11 +162,12 @@ def cmd_bench(args) -> int:
         from .eval.ablation import format_ablation, run_ablation
         print(format_ablation(run_ablation()))
     elif target == "parallel":
-        from .eval.analysis_perf import (
+        from .eval.parallel_bench import (
             format_parallel_bench, run_parallel_bench, write_parallel_bench,
         )
         result = run_parallel_bench(workers=args.workers,
-                                    repetitions=args.repetitions)
+                                    epochs=args.epochs,
+                                    executor=args.executor)
         print(format_parallel_bench(result))
         out = args.output or "BENCH_parallel.json"
         write_parallel_bench(result, out)
@@ -324,9 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "all"])
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--workers", type=int, default=None,
-                   help="worker count for 'parallel' (default: CPUs)")
+                   help="lane worker count for 'parallel' (default: "
+                        "min(shards, CPUs))")
+    p.add_argument("--executor", choices=["thread", "process"],
+                   default="thread",
+                   help="lane executor for 'parallel'")
     p.add_argument("--repetitions", type=int, default=1,
-                   help="timing repetitions for 'parallel'/'state'")
+                   help="timing repetitions for 'state'")
     p.add_argument("--sizes", default="1000,10000,100000",
                    help="comma-separated map sizes for 'state'")
     p.add_argument("--output", default=None,

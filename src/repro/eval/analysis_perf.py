@@ -5,22 +5,17 @@ contract and averaging, exactly as the paper does (1000 repetitions on
 their machine; configurable here).  Reports per-stage microseconds and
 the analysis overhead relative to total deployment time.
 
-Also home to the *parallel analysis* benchmark (``repro bench
-parallel``): serial-vs-process-pool wall clock over the corpus plus
-SummaryCache hit rates, written to ``BENCH_parallel.json``.
+(The ``repro bench parallel`` benchmark moved to
+``repro.eval.parallel_bench`` — it now measures resident-worker epoch
+throughput instead of corpus analysis.)
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field as dc_field
 
 from ..contracts import CORPUS
-from ..core.cache import ANALYSIS_VERSION, SummaryCache
-from ..core.parallel import analyze_corpus, default_workers
 from ..core.pipeline import run_pipeline
-from ..obs.metrics import MetricsRegistry
-from ..obs.tracing import Tracer
 
 
 @dataclass
@@ -87,135 +82,3 @@ def format_fig12(result: Fig12Result) -> str:
         "parsing+typechecking (paper: ~46% of total)")
     return "\n".join(lines)
 
-
-# --------------------------------------------------------------------------
-# Parallel analysis benchmark (serial vs process pool, plus caching).
-# --------------------------------------------------------------------------
-
-@dataclass
-class ParallelBenchResult:
-    """Serial-vs-parallel corpus analysis timings plus cache behaviour."""
-
-    workers: int
-    repetitions: int
-    n_contracts: int
-    serial_s: float
-    parallel_s: float
-    cache_hits: int
-    cache_misses: int
-    executor: str = "process"
-    fell_back: bool = False
-    analysis_version: str = ANALYSIS_VERSION
-
-    @property
-    def speedup(self) -> float:
-        return self.serial_s / self.parallel_s if self.parallel_s else 0.0
-
-    @property
-    def cache_hit_rate(self) -> float:
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
-
-    def to_json_dict(self) -> dict:
-        """JSON payload; every field except the ``timing`` block is a
-        deterministic function of the corpus and configuration."""
-        return {
-            "benchmark": "parallel-analysis",
-            "analysis_version": self.analysis_version,
-            "executor": self.executor,
-            "workers": self.workers,
-            "repetitions": self.repetitions,
-            "n_contracts": self.n_contracts,
-            "cache": {
-                "hits": self.cache_hits,
-                "misses": self.cache_misses,
-                "hit_rate": round(self.cache_hit_rate, 4),
-            },
-            "fell_back": self.fell_back,
-            "timing": {
-                "serial_s": round(self.serial_s, 4),
-                "parallel_s": round(self.parallel_s, 4),
-                "speedup": round(self.speedup, 2),
-            },
-        }
-
-
-def run_parallel_bench(workers: int | None = None,
-                       repetitions: int = 1,
-                       contracts: dict[str, str] | None = None,
-                       executor: str = "process") -> ParallelBenchResult:
-    """Time corpus analysis serially and through the pool.
-
-    Both passes use a fresh private cache (no cross-talk with the
-    process-wide one), so the measured work is identical: every
-    contract is analysed from scratch ``repetitions`` times.  Cache
-    hit counts come from a third pass that replays the whole corpus
-    against the now-warm cache — the miner's steady state, where every
-    repeat deployment and signature validation is a hit.
-
-    All numbers are read back from ``repro.obs`` telemetry — serial
-    wall time from tracer spans, parallel wall time and pool fallbacks
-    from ``corpus.*`` instruments, hit rates from the warm cache's
-    ``pipeline.cache.*`` counters — so the benchmark doubles as an
-    end-to-end check of the observability layer.
-    """
-    contracts = contracts if contracts is not None else CORPUS
-
-    tracer = Tracer()
-    for _ in range(repetitions):
-        with tracer.span("serial corpus pass"):
-            for name, source in contracts.items():
-                run_pipeline(source, name)
-    serial_s = sum(root.duration_ns for root in tracer.roots) / 1e9
-
-    sweep_registry = MetricsRegistry()
-    for _ in range(repetitions):
-        analyze_corpus(contracts, workers=workers, executor=executor,
-                       cache=SummaryCache(), metrics=sweep_registry)
-    sweep = sweep_registry.snapshot()
-    parallel_s = sweep["histograms"]["corpus.wall_ns"]["sum"] / 1e9
-    fell_back = sweep["counters"]["corpus.pool_fallbacks"]["value"] > 0
-
-    cache_registry = MetricsRegistry()
-    warm = SummaryCache(metrics=cache_registry)
-    for _ in range(2):  # cold fill, then the steady-state replay
-        analyze_corpus(contracts, workers=workers, executor="serial",
-                       cache=warm)
-    cache_counters = cache_registry.snapshot()["counters"]
-
-    return ParallelBenchResult(
-        workers=workers or default_workers(),
-        repetitions=repetitions,
-        n_contracts=len(contracts),
-        serial_s=serial_s,
-        parallel_s=parallel_s,
-        cache_hits=cache_counters["pipeline.cache.hits"]["value"],
-        cache_misses=cache_counters["pipeline.cache.misses"]["value"],
-        executor=executor,
-        fell_back=fell_back,
-    )
-
-
-def format_parallel_bench(result: ParallelBenchResult) -> str:
-    lines = [
-        f"Parallel analysis — {result.n_contracts} contracts, "
-        f"{result.workers} workers, {result.repetitions} repetition(s)",
-        "",
-        f"  serial     {result.serial_s:8.3f} s",
-        f"  {result.executor:10s} {result.parallel_s:8.3f} s   "
-        f"({result.speedup:.2f}x)",
-        "",
-        f"  warm-cache replay: {result.cache_hits} hits / "
-        f"{result.cache_misses} misses "
-        f"({100 * result.cache_hit_rate:.1f}% hit rate)",
-    ]
-    if result.fell_back:
-        lines.append("  (pool failure — parallel pass completed serially)")
-    return "\n".join(lines)
-
-
-def write_parallel_bench(result: ParallelBenchResult, path) -> None:
-    """Write ``BENCH_parallel.json`` (stable key order, trailing \\n)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_json_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")

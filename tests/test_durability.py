@@ -256,7 +256,10 @@ def test_replay_rejects_unknown_record_type(tmp_path):
 # -- lane-pool observability (satellite: no silent fallbacks) -----------------
 
 def test_pool_failure_detail_recorded(monkeypatch):
-    net = build_and_run(epochs=0, net_kwargs={"executor": "thread"})
+    # resident=False: this exercises the legacy shared-pool acquisition
+    # path; the resident pool failure has its own test below.
+    net = build_and_run(epochs=0, net_kwargs={"executor": "thread",
+                                              "resident": False})
 
     def boom(*args, **kwargs):
         raise RuntimeError("pool exploded")
@@ -265,6 +268,20 @@ def test_pool_failure_detail_recorded(monkeypatch):
     assert net.executor_fallbacks == 1
     assert net.executor_fallback_details == \
         ["supervise: thread: RuntimeError: RuntimeError('pool exploded')"]
+
+
+def test_resident_pool_failure_detail_recorded(monkeypatch):
+    net = build_and_run(epochs=0, net_kwargs={"executor": "thread",
+                                              "resident": True})
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("resident pool exploded")
+    monkeypatch.setattr("repro.core.parallel.get_resident_pool", boom)
+    net.process_epoch(transfer_round())
+    assert net.executor_fallbacks == 1
+    assert net.executor_fallback_details == \
+        ["supervise: thread: RuntimeError: "
+         "RuntimeError('resident pool exploded')"]
 
 
 def test_corpus_analysis_fallback_error_recorded(monkeypatch):

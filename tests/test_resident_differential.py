@@ -1,0 +1,114 @@
+"""Acceptance oracle for resident shard workers: every Fig. 14
+workload, run through long-lived lane workers holding resident shard
+state, must end byte-identical to the fault-free serial run — state
+fingerprints *and* the deterministic telemetry snapshot — for the
+thread and the process executor, with zero whole-epoch fallbacks.
+
+The faulted half re-runs the battery under an injected hung worker and
+an injected killed worker: the supervisor must reinstall the affected
+replicas from authoritative state mid-run and still converge to the
+same bytes.  Vacuity guards assert the resident path really engaged
+(installs, sync pushes) and that faults really forced reinstalls.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chain.faults import FaultEvent, FaultKind, FaultPlan
+from repro.chain.network import Network
+from repro.chain.recovery import network_fingerprint
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.generators import ALL_WORKLOADS
+
+N_SHARDS = 4
+EPOCHS = 4
+DEADLINE_S = 0.5
+
+# One hung worker and one killed worker, placed mid-run so the
+# resident replicas are already installed and synced when the faults
+# hit — the recovery is a true mid-run reinstall, not a first install.
+WORKER_FAULT_PLAN = [FaultEvent(2, FaultKind.HANG_WORKER, 1),
+                     FaultEvent(3, FaultKind.KILL_WORKER, 0)]
+
+_serial_cache: dict[str, tuple[dict[str, str], str]] = {}
+
+
+def _run(workload_cls, executor: str, plan: FaultPlan | None,
+         registry: MetricsRegistry) -> Network:
+    net = Network(N_SHARDS, use_signatures=True, fault_plan=plan,
+                  executor=executor, lane_deadline_s=DEADLINE_S,
+                  metrics=registry, resident=(executor != "serial"))
+    workload = workload_cls(n_users=16, txns_per_epoch=24, seed=11)
+    workload.setup(net)
+    for epoch in range(EPOCHS):
+        net.process_epoch(workload.transactions(epoch))
+    return net
+
+
+def _serial_baseline(workload_cls) -> tuple[dict[str, str], str]:
+    key = workload_cls.__name__
+    if key not in _serial_cache:
+        registry = MetricsRegistry()
+        net = _run(workload_cls, "serial", None, registry)
+        _serial_cache[key] = (
+            network_fingerprint(net),
+            json.dumps(registry.deterministic_snapshot(),
+                       sort_keys=True),
+        )
+    return _serial_cache[key]
+
+
+def _resident_counters(registry: MetricsRegistry) -> dict[str, int]:
+    counters = registry.snapshot()["counters"]
+    return {name: payload["value"] for name, payload in counters.items()
+            if name.startswith("lane.resident.")}
+
+
+@pytest.mark.parametrize("executor", ("thread", "process"))
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS,
+                         ids=[c.__name__ for c in ALL_WORKLOADS])
+def test_resident_matches_serial(workload_cls, executor):
+    registry = MetricsRegistry()
+    net = _run(workload_cls, executor, None, registry)
+
+    fingerprint, telemetry = _serial_baseline(workload_cls)
+    assert network_fingerprint(net) == fingerprint
+    assert json.dumps(registry.deterministic_snapshot(),
+                      sort_keys=True) == telemetry
+    assert net.executor_fallbacks == 0
+
+    # Vacuity guard: the lanes really ran resident — one install per
+    # lane, then delta syncs instead of fresh payloads.
+    resident = _resident_counters(registry)
+    assert resident["lane.resident.installs"] >= N_SHARDS
+    assert resident["lane.resident.sync_pushes"] > 0
+    assert resident["lane.resident.reinstalls"] == 0
+
+
+@pytest.mark.parametrize("executor", ("thread", "process"))
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS,
+                         ids=[c.__name__ for c in ALL_WORKLOADS])
+def test_resident_survives_worker_faults(workload_cls, executor):
+    registry = MetricsRegistry()
+    plan = FaultPlan(list(WORKER_FAULT_PLAN))
+    net = _run(workload_cls, executor, plan, registry)
+
+    fingerprint, telemetry = _serial_baseline(workload_cls)
+    assert network_fingerprint(net) == fingerprint
+    assert json.dumps(registry.deterministic_snapshot(),
+                      sort_keys=True) == telemetry
+    assert net.executor_fallbacks == 0
+
+    counters = registry.snapshot()["counters"]
+    failures = sum(v["value"] for k, v in counters.items()
+                   if k.startswith("supervise.failures."))
+    assert failures >= 2
+    # The killed/hung replicas were thrown away and reinstalled from
+    # authoritative state, not resumed from whatever was left behind.
+    resident = _resident_counters(registry)
+    assert resident["lane.resident.reinstalls"] >= 1
+    if executor == "process":
+        assert counters["supervise.pool_rebuilds"]["value"] >= 1

@@ -43,8 +43,11 @@ def _receipt_key(receipt):
 
 
 def _observe(workload_cls, executor: str, sliced: bool):
+    # resident=False: this file tests the per-epoch payload builder;
+    # a resident install ships deliberately-unsliced payloads, which
+    # would pollute the lane.payload.* accounting below.
     net = Network(N_SHARDS, use_signatures=True, executor=executor,
-                  slice_payloads=sliced)
+                  slice_payloads=sliced, resident=False)
     workload = _workload(workload_cls)
     workload.setup(net)
     blocks = [net.process_epoch(workload.transactions(epoch))
@@ -80,7 +83,7 @@ def test_slicing_actually_activates(workload_cls):
     (never a full state) once its parallel lanes run."""
     registry = MetricsRegistry()
     net = Network(N_SHARDS, use_signatures=True, executor="thread",
-                  slice_payloads=True, metrics=registry)
+                  slice_payloads=True, metrics=registry, resident=False)
     workload = _workload(workload_cls)
     workload.setup(net)
     for epoch in range(EPOCHS):

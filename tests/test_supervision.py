@@ -30,6 +30,10 @@ USERS = ["0x" + f"{i:040x}" for i in range(1, 17)]
 
 def ft_network(**kwargs) -> Network:
     kwargs.setdefault("metrics", MetricsRegistry())
+    # These tests intercept the shared pools / run_lane_task of the
+    # per-epoch executor; resident workers dispatch through their own
+    # slot pool (tests/test_resident_differential.py covers them).
+    kwargs.setdefault("resident", False)
     net = Network(4, **kwargs)
     net.create_account(ADMIN)
     for u in USERS:
