@@ -51,6 +51,10 @@ class FinalBlock:
     # Lanes the DS committee excluded after a timeout or a rejected
     # delta, mapped to the reason (``crash``, ``delay-microblock``, …).
     excluded_lanes: dict[int, str] = dc_field(default_factory=dict)
+    # The WAL tag the epoch committed under ("epoch", "setup",
+    # "serve", …) — lets reporting separate service-mode epochs from
+    # setup/measurement ones (Network.average_tps(tag=...)).
+    tag: str = "epoch"
 
     @property
     def all_receipts(self) -> list[Receipt]:

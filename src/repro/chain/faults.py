@@ -66,6 +66,8 @@ class FaultKind(enum.Enum):
     HANG_WORKER = "hang-worker"
     KILL_WORKER = "kill-worker"
     SLOW_LANE = "slow-lane"
+    FLOOD = "flood"
+    STALL_CONSUMER = "stall-consumer"
 
     def __str__(self) -> str:
         return self.value
@@ -97,6 +99,18 @@ CHURN_FAULTS = frozenset({
 # from its immutable snapshot — the DS committee never sees them.
 WORKER_FAULTS = frozenset({
     FaultKind.HANG_WORKER, FaultKind.KILL_WORKER, FaultKind.SLOW_LANE,
+})
+# Service-level kinds: attack the *ingestion* path, not the epoch
+# pipeline.  ``FLOOD`` multiplies the offered load for one tick;
+# ``STALL_CONSUMER`` freezes the service loop's drain for one tick
+# (producers keep submitting).  Keyed by service tick, not network
+# epoch — a stalled tick processes no epoch.  Handled entirely by
+# repro.chain.service: admission control sheds the excess and the
+# committed stream stays replay-equivalent, but the *set* of committed
+# transactions legitimately changes, so these are not in
+# EQUIVALENCE_PRESERVING.
+SERVICE_FAULTS = frozenset({
+    FaultKind.FLOOD, FaultKind.STALL_CONSUMER,
 })
 # Kinds for which recovery guarantees fault/no-fault end-state
 # equivalence on signature-routed workloads.
@@ -144,8 +158,9 @@ class FaultPlan:
                drop_rate: float = 0.05, corrupt_rate: float = 0.08,
                forge_rate: float = 0.05, churn_rate: float = 0.0,
                first_epoch: int = 1, hang_rate: float = 0.0,
-               kill_rate: float = 0.0,
-               slow_rate: float = 0.0) -> "FaultPlan":
+               kill_rate: float = 0.0, slow_rate: float = 0.0,
+               flood_rate: float = 0.0,
+               stall_rate: float = 0.0) -> "FaultPlan":
         """Sample at most one lane fault per (epoch, shard).
 
         A single uniform draw per cell is partitioned by the rates, so
@@ -178,6 +193,14 @@ class FaultPlan:
             for kind in (FaultKind.DROP_TX, FaultKind.DUPLICATE_TX,
                          FaultKind.REORDER_TXNS):
                 if rng.random() < churn_rate:
+                    events.append(FaultEvent(epoch, kind))
+            # Service faults draw only when enabled, so plans generated
+            # before they existed are reproduced byte-identically from
+            # the same seed when their rates are zero (unlike churn,
+            # whose draws predate this rule and stay unconditional).
+            for kind, rate in ((FaultKind.FLOOD, flood_rate),
+                               (FaultKind.STALL_CONSUMER, stall_rate)):
+                if rate > 0 and rng.random() < rate:
                     events.append(FaultEvent(epoch, kind))
         return cls(events, seed=seed)
 
@@ -281,6 +304,21 @@ class FaultInjector:
         """Executor-level faults the lane supervisor injects into the
         worker running each shard's task (repro.chain.supervise)."""
         return self.plan.lane_faults(epoch, WORKER_FAULTS)
+
+    # -- service faults (consulted by repro.chain.service, per tick) -----------
+
+    def consumer_stalled(self, tick: int) -> bool:
+        """True if the service loop must skip draining this tick."""
+        return any(e.kind is FaultKind.STALL_CONSUMER
+                   for e in self.plan.events_for(tick))
+
+    def flood_multiplier(self, tick: int) -> int:
+        """Load multiplier for this tick: 1 normally, 2–4 (seeded,
+        deterministic) when a FLOOD event is planned."""
+        if not any(e.kind is FaultKind.FLOOD
+                   for e in self.plan.events_for(tick)):
+            return 1
+        return self._rng(tick, salt=-13).randint(2, 4)
 
     # -- mempool churn ---------------------------------------------------------
 

@@ -105,6 +105,12 @@ class EpochStats:
     deferred: int = 0
     to_ds: int = 0
     per_shard: dict[int, int] = dc_field(default_factory=dict)
+    # Offered-load accounting for mempool-drained (service) epochs:
+    # ``offered`` counts only this epoch's fresh submissions;
+    # ``carried_in`` the backlog retries prepended to them.  Their sum
+    # (minus injected churn) is ``dispatched``.
+    offered: int = 0
+    carried_in: int = 0
     # Recovery bookkeeping (see repro.chain.recovery).
     recovered: int = 0        # txns from excluded lanes rerouted to DS
     reexecuted: int = 0       # of those, actually executed this epoch
@@ -340,6 +346,18 @@ class Network:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.dead_letter: list[Transaction] = []
+        # Service mode (repro.chain.service): the attached admission
+        # mempool, if any — snapshots embed its pending entries so
+        # resume restores the queue.  ``restored_mempool`` collects
+        # pending entries recovered from a snapshot + WAL replay
+        # (tx_id -> serialized PoolEntry, insertion-ordered); a
+        # ServiceLoop adopting this network drains it.
+        self.mempool = None
+        self.restored_mempool: dict[int, dict] = {}
+        # Modeled seconds the service loop spent on ticks that
+        # processed no epoch (idle or stalled), per WAL tag — charged
+        # to average_tps so partial service batches cannot inflate it.
+        self.idle_seconds: dict[str, float] = {}
         # Optional deterministic fault injection (repro.chain.faults).
         self.injector = FaultInjector(fault_plan) if fault_plan else None
         # Shard-lane execution strategy (see EXECUTOR_STRATEGIES).
@@ -731,6 +749,13 @@ class Network:
             self.process_epoch(
                 [transaction_from_obj(tx) for tx in data["txns"]],
                 unlimited=data["unlimited"], wal_tag=data["tag"])
+            # Epoch inputs drained from the restored service pool are
+            # no longer pending (their outcomes re-derive on replay:
+            # receipts from the epoch itself, deferrals via
+            # ``backlog``, which the adopting ServiceLoop re-pulls).
+            if self.restored_mempool:
+                for tx in data["txns"]:
+                    self.restored_mempool.pop(tx["id"], None)
         elif record.type == "commit":
             digest = fingerprint_digest(self)
             if digest != data["digest"]:
@@ -740,6 +765,15 @@ class Network:
                     f"match the logged commit {data['digest'][:12]}…")
         elif record.type == "note":
             self.wal_notes.append(data)
+        elif record.type == "svc-admit":
+            # Service-mode admissions journaled before execution; an
+            # entry stays pending until an epoch drains it or a
+            # svc-terminal record retires it.
+            for entry in data["entries"]:
+                self.restored_mempool[entry["tx"]["id"]] = entry
+        elif record.type == "svc-terminal":
+            for tx_id in data["ids"]:
+                self.restored_mempool.pop(tx_id, None)
         elif record.type == "init":
             raise WALError(
                 f"unexpected init record at sequence {record.seq}")
@@ -796,6 +830,7 @@ class Network:
             incoming = self.injector.churn_mempool(self.epoch, incoming,
                                                    fault_log)
         retries_of: dict[int, int] = {}
+        carried_in = 0
         if self.carry_backlog and self.backlog:
             due = [e for e in self.backlog if e.not_before <= self.epoch]
             if due:
@@ -803,6 +838,7 @@ class Network:
                                 if e.not_before > self.epoch]
                 retries_of = {e.tx.tx_id: e.retries for e in due}
                 incoming = [e.tx for e in due] + incoming
+                carried_in = len(due)
 
         checkpoint = NetworkCheckpoint.take(self)
         try:
@@ -904,6 +940,8 @@ class Network:
         meters.cow_copies.inc(cow_now - self._cow_copies_seen)
         self._cow_copies_seen = cow_now
 
+        stats.offered = len(txns)
+        stats.carried_in = carried_in
         block = FinalBlock(
             epoch=self.epoch,
             microblocks=outcome.microblocks,
@@ -912,6 +950,7 @@ class Network:
             stats=stats,
             fault_log=fault_log,
             excluded_lanes=dict(excluded),
+            tag=wal_tag,
         )
         block.epoch_seconds = self.cost.epoch_seconds(
             shard_exec=outcome.shard_exec_times,
@@ -1287,11 +1326,33 @@ class Network:
 
     # -- reporting ----------------------------------------------------------------
 
-    def average_tps(self, last_n: int | None = None) -> float:
-        blocks = self.blocks[-last_n:] if last_n else self.blocks
+    def average_tps(self, last_n: int | None = None,
+                    tag: str | None = None) -> float:
+        """Committed transactions per modeled second.
+
+        ``tag`` restricts the average to epochs committed under that
+        WAL tag (e.g. ``"serve"`` for service-mode epochs).  Idle and
+        stalled service ticks processed no epoch but still consumed
+        consensus time; :meth:`note_idle_seconds` charges them here, so
+        a mempool-drained service run's partial batches cannot inflate
+        the average over what the wall clock saw.
+        """
+        blocks = [b for b in self.blocks
+                  if tag is None or getattr(b, "tag", None) == tag]
+        blocks = blocks[-last_n:] if last_n else blocks
         total = sum(b.n_committed for b in blocks)
         seconds = sum(b.epoch_seconds for b in blocks)
+        if last_n is None:
+            if tag is None:
+                seconds += sum(self.idle_seconds.values())
+            else:
+                seconds += self.idle_seconds.get(tag, 0.0)
         return total / seconds if seconds else 0.0
+
+    def note_idle_seconds(self, tag: str, seconds: float) -> None:
+        """Charge modeled time for a service tick that processed no
+        epoch (idle mempool or a stalled consumer)."""
+        self.idle_seconds[tag] = self.idle_seconds.get(tag, 0.0) + seconds
 
 
 # --------------------------------------------------------------------------

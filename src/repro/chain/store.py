@@ -112,6 +112,11 @@ def snapshot_network(net, wal_seq: int) -> Any:
             "dropped": [transaction_to_obj(tx)
                         for tx in net.injector.dropped],
         }
+    if net.mempool is not None:
+        # Service mode: the admission pool's pending entries travel
+        # with the snapshot (WAL compaction may drop their svc-admit
+        # records), in global drain order.
+        obj["mempool"] = net.mempool.to_obj()
     return obj
 
 
@@ -181,6 +186,13 @@ def network_from_snapshot(obj: Any, executor: str | None = None,
         net.injector.skipped = injector_obj["skipped"]
         net.injector.dropped = [transaction_from_obj(tx)
                                 for tx in injector_obj["dropped"]]
+    mempool_obj = obj.get("mempool")
+    if mempool_obj is not None:
+        # Pending service-pool entries; WAL replay past the snapshot
+        # adds/removes against this and ServiceLoop.adopt drains it.
+        net.restored_mempool = {
+            entry["tx"]["id"]: entry
+            for entry in mempool_obj["entries"]}
     return net
 
 

@@ -14,6 +14,8 @@ Usage (also via ``python -m repro``):
     repro run       --data-dir D [--workload W]     durable workload run
     repro resume    --data-dir D [--workload W]     continue a durable run
     repro torture   [--workload W | --all]          kill-and-resume proof
+    repro serve     [--population N --ticks T …]    service-mode session
+    repro loadgen   [--out F --population N …]      record a tick stream
 """
 
 from __future__ import annotations
@@ -183,6 +185,21 @@ def cmd_bench(args) -> int:
         out = args.output or "BENCH_state.json"
         write_state_bench(result, out)
         print(f"\nwrote {out}")
+    elif target == "throughput":
+        from .eval.throughput import (
+            format_throughput_bench, run_throughput_bench,
+            write_throughput_bench,
+        )
+        shard_counts = tuple(int(s) for s in
+                             args.shard_counts.split(","))
+        populations = tuple(int(p) for p in args.populations.split(","))
+        result = run_throughput_bench(
+            shard_counts=shard_counts, populations=populations,
+            ticks=args.ticks, txns_per_tick=args.txns)
+        print(format_throughput_bench(result))
+        out = args.output or "BENCH_throughput.json"
+        write_throughput_bench(result, out)
+        print(f"\nwrote {out}")
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {target}")
     return 0
@@ -261,6 +278,55 @@ def cmd_resume(args) -> int:
     return _run_durable_cmd(args, require_existing=True)
 
 
+def cmd_serve(args) -> int:
+    import json as json_mod
+
+    from .eval.service import format_service, iter_stream, run_service
+
+    kwargs = dict(
+        shards=args.shards, ticks=args.ticks, txns_per_tick=args.txns,
+        population=args.population, seed=args.seed,
+        capacity=args.capacity, per_sender=args.per_sender,
+        batch_max=args.batch_max, flood_rate=args.flood_rate,
+        stall_rate=args.stall_rate, fault_seed=args.fault_seed,
+        executor=args.executor, data_dir=args.data_dir,
+        drain_ticks=args.drain_ticks)
+    if args.stream is not None:
+        handle = (sys.stdin if args.stream == "-"
+                  else open(args.stream, encoding="utf-8"))
+        try:
+            run = run_service(stream=iter_stream(handle), **kwargs)
+        finally:
+            if handle is not sys.stdin:
+                handle.close()
+    else:
+        run = run_service(args.workload, **kwargs)
+    run.net.close()
+    if args.json:
+        print(json_mod.dumps(run.report.to_obj(), sort_keys=True))
+    else:
+        print(format_service(run.report))
+    return 0 if run.report.partition_ok else 1
+
+
+def cmd_loadgen(args) -> int:
+    from .eval.service import write_stream
+
+    handle = (sys.stdout if args.out == "-"
+              else open(args.out, "w", encoding="utf-8"))
+    try:
+        header = write_stream(
+            handle, args.workload, population=args.population,
+            ticks=args.ticks, txns_per_tick=args.txns, seed=args.seed)
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    if args.out != "-":
+        print(f"wrote {header['total_txns']} txns over "
+              f"{header['ticks']} ticks to {args.out}")
+    return 0
+
+
 def cmd_torture(args) -> int:
     from .eval.chaos import format_torture_report, run_crash_torture
     from .workloads.generators import ALL_WORKLOADS
@@ -322,8 +388,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment",
                    choices=["fig1", "fig12", "fig13", "fig14", "table",
                             "overheads", "ablation", "parallel", "state",
-                            "all"])
+                            "throughput", "all"])
     p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--ticks", type=int, default=12,
+                   help="measured service ticks for 'throughput'")
+    p.add_argument("--txns", type=int, default=200,
+                   help="offered transactions per tick for 'throughput'")
+    p.add_argument("--shard-counts", default="2,4,8",
+                   help="comma-separated shard counts for 'throughput'")
+    p.add_argument("--populations", default="1000,100000",
+                   help="comma-separated sender populations for "
+                        "'throughput'")
     p.add_argument("--workers", type=int, default=None,
                    help="lane worker count for 'parallel' (default: "
                         "min(shards, CPUs))")
@@ -460,6 +535,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rng-seed", type=int, default=0,
                    help="seed for choosing the kill points")
     p.set_defaults(func=cmd_torture)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a bounded service-mode session: a workload (or a "
+             "loadgen stream) is submitted through the admission "
+             "mempool and drained by the continuous service loop")
+    p.add_argument("--workload", default="FT transfer @scale")
+    p.add_argument("--stream", default=None, metavar="FILE",
+                   help="serve a `repro loadgen` stream instead of "
+                        "generating load ('-' reads stdin)")
+    p.add_argument("--population", type=int, default=10_000,
+                   help="sender address-space size")
+    p.add_argument("--ticks", type=int, default=24)
+    p.add_argument("--txns", type=int, default=200,
+                   help="offered transactions per tick")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--capacity", type=int, default=None,
+                   help="mempool capacity (default: 8x --txns)")
+    p.add_argument("--per-sender", type=int, default=None,
+                   help="per-sender queue cap")
+    p.add_argument("--batch-max", type=int, default=None,
+                   help="epoch batch ceiling (default: --txns)")
+    p.add_argument("--flood-rate", type=float, default=0.0,
+                   help="per-tick probability of a FLOOD burst "
+                        "(2-4x offered load)")
+    p.add_argument("--stall-rate", type=float, default=0.0,
+                   help="per-tick probability of a stalled consumer")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--drain-ticks", type=int, default=64,
+                   help="extra ticks granted to finish admitted work")
+    p.add_argument("--executor", default=None,
+                   choices=["serial", "thread", "process"])
+    p.add_argument("--data-dir", default=None,
+                   help="attach WAL-backed durability")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="record a workload as a JSONL tick stream for "
+             "`repro serve --stream`")
+    p.add_argument("--out", default="-", metavar="FILE",
+                   help="output path ('-' writes stdout)")
+    p.add_argument("--workload", default="FT transfer @scale")
+    p.add_argument("--population", type=int, default=10_000)
+    p.add_argument("--ticks", type=int, default=24)
+    p.add_argument("--txns", type=int, default=200,
+                   help="transactions per tick")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_loadgen)
     return parser
 
 

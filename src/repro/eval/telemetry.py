@@ -30,6 +30,7 @@ class TelemetryRun:
     n_shards: int
     epochs: int
     committed: int = 0
+    tps: float = 0.0
     registry: MetricsRegistry = dc_field(default_factory=MetricsRegistry)
     tracer: Tracer | None = None
 
@@ -66,11 +67,15 @@ def run_instrumented(workload: str = "FT transfer", epochs: int = 3,
         for epoch in range(epochs):
             block = net.process_epoch(wl.transactions(epoch))
             committed += block.stats.committed
+        tps = net.average_tps()
+        # Modeled-clock TPS is deterministic (cost model, not wall
+        # time); exported in milli-tx/s so the snapshot holds an int.
+        reg.gauge("net.average_tps_milli").set(int(tps * 1000))
     finally:
         net.close()
     return TelemetryRun(
         workload=workload, executor=net.executor, n_shards=n_shards,
-        epochs=epochs, committed=committed, registry=reg,
+        epochs=epochs, committed=committed, tps=tps, registry=reg,
         tracer=tracer if trace else None)
 
 
@@ -79,7 +84,8 @@ def format_telemetry(run: TelemetryRun) -> str:
     lines = [
         f"workload:  {run.workload}",
         f"executor:  {run.executor} ({run.n_shards} shards)",
-        f"epochs:    {run.epochs}   committed: {run.committed}",
+        f"epochs:    {run.epochs}   committed: {run.committed}   "
+        f"avg tps: {run.tps:.2f}",
         "",
         run.registry.to_text(),
     ]

@@ -134,6 +134,47 @@ class Histogram:
                 "count": self.count, "sum": self.sum,
                 "deterministic": self.deterministic}
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1) from the buckets.
+
+        Linear interpolation inside the winning bucket; observations in
+        the +Inf overflow bucket answer with the largest finite bound
+        (a floor for the true value — the buckets cannot say more).
+        """
+        with self._lock:
+            return quantile_from_cells(self.bounds, self.counts,
+                                       self.count, q)
+
+
+def quantile_from_cells(bounds, counts, count: int, q: float) -> float:
+    """Shared quantile estimator over histogram cells (live instruments
+    and serialized snapshots alike)."""
+    if not (0.0 < q <= 1.0):
+        raise ValueError("quantile must be in (0, 1]")
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for i, cell in enumerate(counts):
+        if cell == 0:
+            continue
+        previous = cumulative
+        cumulative += cell
+        if cumulative >= rank:
+            if i >= len(bounds):      # +Inf overflow bucket
+                return float(bounds[-1])
+            lower = float(bounds[i - 1]) if i > 0 else 0.0
+            upper = float(bounds[i])
+            return lower + (upper - lower) * (rank - previous) / cell
+    return float(bounds[-1])          # pragma: no cover - cumulative==count
+
+
+def quantile_from_snapshot(hist_obj, q: float) -> float:
+    """Quantile straight from a snapshot's histogram object (the
+    ``to_obj`` form), e.g. inside BENCH JSON writers."""
+    return quantile_from_cells(hist_obj["bounds"], hist_obj["counts"],
+                               hist_obj["count"], q)
+
 
 class MetricsRegistry:
     """A named collection of instruments behind one lock.

@@ -2,13 +2,15 @@
 synthetic Ethereum trace substitute for Fig. 1."""
 
 from .generators import (
-    ALL_WORKLOADS, CFDonate, FTFund, FTTransfer, NFTMint, NFTTransfer,
-    Payments, ProofIPFSRegister, UDBestow, UDConfig, Workload,
-    workload_by_name,
+    ALL_WORKLOADS, EXTRA_WORKLOADS, CFDonate, FTFund, FTTransfer,
+    NFTMint, NFTTransfer, Payments, ProofIPFSRegister, UDBestow,
+    UDConfig, Workload, workload_by_name,
 )
+from .scale import ScaledFTTransfer
 
 __all__ = [
-    "ALL_WORKLOADS", "CFDonate", "FTFund", "FTTransfer", "NFTMint",
-    "NFTTransfer", "Payments", "ProofIPFSRegister", "UDBestow", "UDConfig",
+    "ALL_WORKLOADS", "EXTRA_WORKLOADS", "CFDonate", "FTFund",
+    "FTTransfer", "NFTMint", "NFTTransfer", "Payments",
+    "ProofIPFSRegister", "ScaledFTTransfer", "UDBestow", "UDConfig",
     "Workload", "workload_by_name",
 ]

@@ -429,9 +429,14 @@ ALL_WORKLOADS: list[type[Workload]] = [
     ProofIPFSRegister, UDBestow, UDConfig,
 ]
 
+# Workloads registered outside the Fig. 14 battery (the service-mode
+# scale workload lives in repro.workloads.scale); resolvable by name
+# without enlarging every ALL_WORKLOADS-driven differential battery.
+EXTRA_WORKLOADS: list[type[Workload]] = []
+
 
 def workload_by_name(name: str) -> type[Workload]:
-    for cls in ALL_WORKLOADS:
+    for cls in ALL_WORKLOADS + EXTRA_WORKLOADS:
         if cls.name == name:
             return cls
     raise KeyError(f"unknown workload {name!r}")
