@@ -43,6 +43,7 @@ from .lanes import LaneResult, run_lanes
 from .recovery import (
     DeltaViolation, NetworkCheckpoint, fingerprint_digest, validate_delta,
 )
+from .speculate import SpeculationError
 from .supervise import (
     BoundedLog, LaneFailureKind, LaneSupervisor, SuperviseConfig,
 )
@@ -63,6 +64,13 @@ PAYMENT_GAS = 50
 # oracle).  The default comes from the REPRO_EXECUTOR env var so a
 # whole test run can be pointed at a parallel path.
 EXECUTOR_STRATEGIES = ("serial", "thread", "process")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
 
 
 @dataclass
@@ -267,6 +275,34 @@ class _NetworkMeters:
             "pipeline.overlap_ns", NS_BUCKETS, deterministic=False)
         self.pipeline_commit_deferrals = m.counter(
             "pipeline.commit_deferrals", deterministic=False)
+        # Speculative intra-shard scheduling (repro.chain.speculate):
+        # window sizes, conflicts and aborts depend on queue shapes
+        # and the retry history, which the serial baseline never has —
+        # every instrument is non-deterministic by design (the
+        # deterministic telemetry subset stays byte-identical with
+        # speculation on or off; tests/test_speculative_differential
+        # is the oracle).
+        self.spec_batches = m.counter("spec.batches",
+                                      deterministic=False)
+        self.spec_attempts = m.counter("spec.attempts",
+                                       deterministic=False)
+        self.spec_commits = m.counter("spec.commits",
+                                      deterministic=False)
+        self.spec_conflicts = m.counter("spec.conflicts",
+                                        deterministic=False)
+        self.spec_aborts = m.counter("spec.aborts",
+                                     deterministic=False)
+        self.spec_retries = m.counter("spec.retries",
+                                      deterministic=False)
+        self.spec_serial_fallbacks = m.counter("spec.serial_fallbacks",
+                                               deterministic=False)
+        self.spec_rescues = m.counter("spec.rescues",
+                                      deterministic=False)
+        self.spec_batch_size = m.histogram(
+            "spec.batch_size", (1, 2, 4, 8, 16, 32),
+            deterministic=False)
+        self.spec_rollback_ns = m.histogram(
+            "spec.rollback_ns", NS_BUCKETS, deterministic=False)
 
 
 @dataclass
@@ -308,6 +344,7 @@ class Network:
                  supervise: SuperviseConfig | None = None,
                  resident: bool | None = None,
                  pipeline: bool | None = None,
+                 speculate: bool | None = None,
                  clock=None,
                  metrics=None,
                  tracer=None):
@@ -387,6 +424,22 @@ class Network:
         if pipeline is None:
             pipeline = os.environ.get("REPRO_PIPELINE", "0") == "1"
         self.pipeline = pipeline
+        # Speculative intra-shard scheduling (repro.chain.speculate,
+        # opt-in via REPRO_SPECULATE): footprint lock sets, sandboxed
+        # optimistic execution, in-order commit with exact conflict
+        # detection, bounded retries, strict-serial fallback.  A pure
+        # runtime choice — results are serial-equivalent by
+        # construction (tests/test_speculative_differential.py is the
+        # oracle) — so it is not part of the durable config.
+        if speculate is None:
+            speculate = os.environ.get("REPRO_SPECULATE", "0") == "1"
+        self.speculate = speculate
+        self.spec_batch = _env_int("REPRO_SPEC_BATCH", 8)
+        self.spec_retries = _env_int("REPRO_SPEC_RETRIES", 3)
+        self.spec_workers = _env_int("REPRO_SPEC_WORKERS", 0)
+        # Test hook: the last lane's private speculation journal, for
+        # the no-mark-leak property (tests/test_speculate_properties).
+        self._spec_last_journal = None
         self._commit_barrier_pending = False
         self._resident_tracker = None
         if resident and self.executor != "serial":
@@ -1086,8 +1139,22 @@ class Network:
                 lane_deferred = lane_result.deferred
             else:
                 with self.tracer.span(f"lane {shard}"):
-                    mb, local_states, touched, lane_deferred = \
-                        self._run_lane(shard, queue, shard_limit)
+                    try:
+                        mb, local_states, touched, lane_deferred = \
+                            self._run_lane(shard, queue, shard_limit)
+                    except SpeculationError as exc:
+                        # The speculative scheduler abandoned the lane
+                        # after restoring the pre-lane state — redo it
+                        # on the strict serial path (docs/SCHEDULER.md).
+                        self._meters.lane_failures[
+                            LaneFailureKind.SPECULATION].inc()
+                        self.executor_fallback_details.append(
+                            f"epoch {self.epoch}: lane {shard} "
+                            f"speculation abandoned ({exc}); redone "
+                            f"serially")
+                        mb, local_states, touched, lane_deferred = \
+                            self._run_lane(shard, queue, shard_limit,
+                                           speculate=False)
                 lane_deltas = []
                 lane_balance = {}
                 for addr, local in local_states.items():
@@ -1233,8 +1300,22 @@ class Network:
     # -- lane execution ------------------------------------------------------------
 
     def _run_lane(self, lane: int, queue: list[Transaction],
-                  gas_limit: int, use_global_state: bool = False):
-        """Execute a queue sequentially, as one shard (or the DS) does."""
+                  gas_limit: int, use_global_state: bool = False,
+                  speculate: bool | None = None):
+        """Execute a queue sequentially, as one shard (or the DS) does.
+
+        With speculation enabled the lane is handed to the optimistic
+        scheduler instead (repro.chain.speculate), which returns the
+        same quadruple with serial-equivalent contents.  The DS lane
+        (use_global_state) always runs serially: it executes directly
+        on merged global state, which the sandbox commit path does not
+        model — and it is the designated home of non-commuting work.
+        """
+        if speculate is None:
+            speculate = self.speculate
+        if speculate and not use_global_state and len(queue) > 1:
+            from .speculate import run_speculative_lane
+            return run_speculative_lane(self, lane, queue, gas_limit)
         mb = MicroBlock(shard=lane, epoch=self.epoch)
         local_states: dict[str, ContractState] = {}
         touched: dict[str, set[StateKey]] = {}

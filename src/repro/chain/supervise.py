@@ -52,6 +52,7 @@ from dataclasses import dataclass, replace as dc_replace
 
 from .faults import FaultKind, WorkerKilled
 from .lanes import LaneResult, build_lane_task, run_lane_task
+from .speculate import SpeculationError
 
 
 # --------------------------------------------------------------------------
@@ -64,6 +65,7 @@ class LaneFailureKind(enum.Enum):
     PICKLE = "pickle"                        # task or result not picklable
     FOOTPRINT_ESCAPE = "footprint-escape"    # lane wrote outside its slice
     POOL_BROKEN = "pool-broken"              # submit/pool-level failure
+    SPECULATION = "speculation"              # speculative lane abandoned
 
     def __str__(self) -> str:
         return self.value
@@ -74,6 +76,9 @@ class LaneFailureKind(enum.Enum):
 # FOOTPRINT_ESCAPE are deterministic properties of the payload — a
 # retry through the same pool cannot fix them, so they route straight
 # to the in-coordinator serial path without tripping anything.
+# SPECULATION behaves the same way: the abandoned lane restored its
+# pre-lane state, and the inline rescue reruns it with speculation
+# off, which cannot fail the same way again.
 INFRA_FAILURES = frozenset({
     LaneFailureKind.TIMEOUT, LaneFailureKind.WORKER_DEATH,
     LaneFailureKind.POOL_BROKEN,
@@ -544,6 +549,13 @@ class LaneSupervisor:
                     failures[lane] = LaneFailure(
                         lane, LaneFailureKind.PICKLE, strategy,
                         net.epoch, attempts[lane], repr(exc))
+                except SpeculationError as exc:
+                    # The worker's speculative scheduler abandoned the
+                    # lane after restoring its snapshot state; the
+                    # inline rescue reruns it with speculation off.
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.SPECULATION, strategy,
+                        net.epoch, attempts[lane], str(exc))
                 except Exception as exc:
                     failures[lane] = LaneFailure(
                         lane, LaneFailureKind.POOL_BROKEN, strategy,
@@ -583,6 +595,10 @@ class LaneSupervisor:
                 if failure.kind is LaneFailureKind.PICKLE:
                     inline[lane] = "pickle"    # a retry cannot fix it
                     strike_failures[lane] = failure
+                elif failure.kind is LaneFailureKind.SPECULATION:
+                    # Straight to the serial-path rescue (speculation
+                    # off); no strike — the worker itself is healthy.
+                    inline[lane] = "speculation"
                 elif attempts[lane] <= cfg.max_lane_retries:
                     meters.lane_retries.inc()
                     pending.append(lane)
@@ -627,6 +643,9 @@ class LaneSupervisor:
                 # Never share an interpreter with a pool attempt that
                 # may still be limping along in the background.
                 task.runtime_cache = {}
+            # Rescues always run the strict serial loop: a lane that
+            # already failed under speculation must not replay it.
+            task.speculate = False
             return task
 
         for lane in sorted(inline):
@@ -806,6 +825,13 @@ class LaneSupervisor:
                     failures[lane] = LaneFailure(
                         lane, LaneFailureKind.PICKLE, strategy,
                         net.epoch, attempts[lane], repr(exc))
+                except SpeculationError as exc:
+                    # The worker's speculative scheduler abandoned the
+                    # lane after restoring its snapshot state; the
+                    # inline rescue reruns it with speculation off.
+                    failures[lane] = LaneFailure(
+                        lane, LaneFailureKind.SPECULATION, strategy,
+                        net.epoch, attempts[lane], str(exc))
                 except Exception as exc:
                     failures[lane] = LaneFailure(
                         lane, LaneFailureKind.POOL_BROKEN, strategy,
@@ -874,6 +900,10 @@ class LaneSupervisor:
                 if failure.kind is LaneFailureKind.PICKLE:
                     inline[lane] = "pickle"    # a retry cannot fix it
                     strike_failures[lane] = failure
+                elif failure.kind is LaneFailureKind.SPECULATION:
+                    # Straight to the serial-path rescue (speculation
+                    # off); no strike — the worker itself is healthy.
+                    inline[lane] = "speculation"
                 elif attempts[lane] <= cfg.max_lane_retries:
                     meters.lane_retries.inc()
                     pending.append(lane)

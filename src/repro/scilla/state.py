@@ -321,6 +321,17 @@ class StateJournal:
         """The absolute sequence number of the next entry."""
         return self._base + len(self._entries)
 
+    @property
+    def entries(self) -> tuple:
+        """Read-only view of the retained undo entries, oldest first.
+
+        The speculative scheduler reads a sandbox's private journal
+        through this to derive its exact write set, and the footprint
+        soundness oracle checks every entry against the static
+        analysis (tests/test_analysis_soundness.py).
+        """
+        return tuple(self._entries)
+
     # -- recording ----------------------------------------------------------
 
     def record_write(self, state: ContractState, key: StateKey) -> None:

@@ -23,7 +23,7 @@ from repro.contracts import CORPUS
 from repro.scilla.interpreter import Interpreter, TxContext
 from repro.scilla.parser import parse_module
 from repro.scilla.values import (
-    IntVal, StringVal, addr, canonical, uint,
+    IntVal, StringVal, addr, bool_val, canonical, uint,
 )
 from repro.scilla import types as ty
 from repro.chain.dispatch import key_token
@@ -224,3 +224,161 @@ def test_corpus_comm_marked_writes_commute_under_random_pairs():
         intmerge_fields = [f for f, j in sig.joins.items()
                            if j is JoinKind.INT_MERGE]
         assert intmerge_fields, f"{name} should have IntMerge fields"
+
+
+# -- corpus-wide footprint oracle against the StateJournal ---------------------
+#
+# The speculative scheduler (repro.chain.speculate) derives its lock
+# sets from ``transition_footprints`` at exactly this granularity: a
+# whole-field token, or a (field, first-map-key) token.  Its soundness
+# axiom is that every location a transition touches at runtime falls
+# inside that static over-approximation — checked here end-to-end over
+# the whole corpus, against the same StateJournal entries the sandbox
+# commit path reads, rather than hand-picked transitions.
+
+
+def _synth_value(t, probe_addr):
+    """A syntactically valid value of type ``t``, or None."""
+    from repro.scilla.values import ADTVal, BNumVal, ByStrVal, MapVal
+    if isinstance(t, ty.PrimType):
+        name = t.name
+        if name in ty.INT_TYPE_NAMES:
+            return IntVal(2, t)
+        if name == "String":
+            return StringVal("probe")
+        if name == "BNum":
+            return BNumVal(1)
+        if name.startswith("ByStr"):
+            width = ty.bystr_width(t)
+            if name == "ByStr20":
+                return ByStrVal(probe_addr, t)
+            return ByStrVal("0x" + "ab" * (width or 4), t)
+    if isinstance(t, ty.ADTType):
+        if t.name == "Bool":
+            return bool_val(True)
+        if t.name == "Option":
+            return ADTVal("Option", "None", t.targs)
+        if t.name == "List":
+            return ADTVal("List", "Nil", t.targs)
+    if isinstance(t, ty.MapType):
+        return MapVal(t.key, t.value)
+    return None
+
+
+def _footprint_tokens(pfs, args, sender, immutables, this_address):
+    """The (field, first-key-token) lock tokens the scheduler would
+    derive — ``(field, None)`` is the whole-field token."""
+    from repro.chain.lanes import _value_from_token
+    from repro.scilla.values import ByStrVal
+    tokens = set()
+    for pf in pfs:
+        if pf.is_whole_field:
+            tokens.add((pf.field, None))
+            continue
+        key = pf.keys[0]
+        if isinstance(key, ParamKey):
+            if key.name in ("_sender", "_origin"):
+                value = ByStrVal(sender, ty.BYSTR20)
+            else:
+                value = args.get(key.name)
+        elif key.repr.startswith("cparam:"):
+            value = immutables.get(key.repr.removeprefix("cparam:"))
+        elif key.repr == "_this_address":
+            value = ByStrVal(this_address, ty.BYSTR20)
+        else:
+            value = _value_from_token(key.repr)
+        if value is None:
+            tokens.add((pf.field, None))
+            continue
+        try:
+            tokens.add((pf.field, key_token(value)))
+        except ValueError:
+            tokens.add((pf.field, None))
+    return tokens
+
+
+def test_corpus_journal_writes_fall_inside_static_footprints():
+    """Every StateJournal write/balance entry recorded while running
+    the corpus transitions lies inside ``transition_footprints`` —
+    the axiom the speculative lock sets rest on."""
+    from types import SimpleNamespace
+
+    from repro.chain.lanes import transition_footprints
+    from repro.chain.speculate import transition_sends
+    from repro.scilla.state import StateJournal
+    from repro.scilla.errors import ScillaError
+
+    probe = "0x" + "ab" * 20   # contract params, sender and origin
+    deployed = 0
+    executed = 0
+    succeeded = 0
+    violations = []
+    for name in sorted(CORPUS):
+        module = parse_module(CORPUS[name], name)
+        params = {p.name: _synth_value(p.typ, probe)
+                  for p in module.contract.params}
+        if any(v is None for v in params.values()):
+            continue
+        interp = Interpreter(module)
+        try:
+            base = interp.deploy("0xc0", params)
+        except ScillaError:
+            continue   # init expressions reject the synthetic params
+        deployed += 1
+        footprints = transition_footprints(analyze_module(module))
+        send_scan = SimpleNamespace(module=module)
+        for comp in module.contract.transitions:
+            args = {p.name: _synth_value(p.typ, probe)
+                    for p in comp.params}
+            if any(v is None for v in args.values()):
+                continue
+            pfs = footprints[comp.name]
+            state = base.copy()
+            journal = StateJournal()
+            state.journal = journal
+            try:
+                result = interp.run_transition(
+                    state, comp.name, args,
+                    TxContext(sender=probe, amount=100))
+            except ScillaError:
+                continue
+            executed += 1
+            succeeded += result.success
+            if pfs is None:
+                continue   # ⊤ summary: everything is covered
+            tokens = _footprint_tokens(pfs, args, probe,
+                                       state.immutables, "0xc0")
+            balance_olds = []
+            for entry in journal.entries:
+                if entry[0] == "balance":
+                    balance_olds.append(entry[2])
+                    continue
+                if entry[0] != "write":
+                    continue
+                _, _st, (fld, keys), _old = entry
+                if (fld, None) in tokens:
+                    continue
+                try:
+                    tok = key_token(keys[0]) if keys else None
+                except ValueError:
+                    tok = None
+                if tok is None or (fld, tok) not in tokens:
+                    violations.append(
+                        f"{name}.{comp.name} wrote {fld}"
+                        f"{[str(k) for k in keys]} outside its "
+                        f"static footprint")
+            # Balance soundness: a decrease (payout) requires the
+            # transition body to contain a send — the condition under
+            # which the scheduler takes the contract-balance lock.
+            seq = balance_olds + [state.balance]
+            decreased = any(a > b for a, b in zip(seq, seq[1:]))
+            if decreased and not transition_sends(send_scan, comp.name):
+                violations.append(
+                    f"{name}.{comp.name} decreased the contract "
+                    f"balance without a send in its body")
+    assert not violations, "\n".join(violations)
+    # Vacuity floor: the corpus-wide sweep must actually exercise the
+    # corpus, not skip its way to green.
+    assert deployed >= 40, f"only {deployed} contracts deployed"
+    assert executed >= 150, f"only {executed} transitions executed"
+    assert succeeded >= 60, f"only {succeeded} transitions succeeded"

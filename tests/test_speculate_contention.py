@@ -1,0 +1,81 @@
+"""High-contention regression for the speculative scheduler.
+
+Two purpose-built workloads bracket the scheduler's behaviour:
+
+* ``FTHammer`` — distinct senders all crediting one hot account.  The
+  speculative lane must observe real conflicts and aborts (the guard
+  proves conflict detection is not vacuous) while still ending
+  byte-identical to the non-speculative serial run.
+* ``FTDisjoint`` — a sender/recipient split with pairwise-disjoint
+  footprints.  The speculative lane must commit every window clean:
+  zero conflicts, zero aborts (the guard proves the lock sets are not
+  so coarse that independent transfers serialize).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chain.network import Network
+from repro.chain.recovery import network_fingerprint
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.generators import FTDisjoint, FTHammer
+
+N_SHARDS = 4
+EPOCHS = 4
+
+
+def _run(workload_cls, speculate: bool, executor: str = "serial"
+         ) -> tuple[Network, MetricsRegistry]:
+    registry = MetricsRegistry()
+    net = Network(N_SHARDS, use_signatures=True, executor=executor,
+                  lane_deadline_s=0.5, metrics=registry,
+                  resident=(executor != "serial"), speculate=speculate)
+    workload = workload_cls(n_users=16, txns_per_epoch=24, seed=11)
+    workload.setup(net)
+    for epoch in range(EPOCHS):
+        net.process_epoch(workload.transactions(epoch))
+    return net, registry
+
+
+def _digest(net: Network, registry: MetricsRegistry) -> tuple:
+    return (network_fingerprint(net),
+            json.dumps(registry.deterministic_snapshot(),
+                       sort_keys=True))
+
+
+def _spec(registry: MetricsRegistry) -> dict[str, int]:
+    counters = registry.snapshot()["counters"]
+    return {name: payload["value"] for name, payload in counters.items()
+            if name.startswith("spec.")}
+
+
+@pytest.mark.parametrize("executor", ("serial", "thread", "process"))
+def test_hammer_aborts_and_stays_serial_equivalent(executor):
+    base_net, base_reg = _run(FTHammer, speculate=False)
+    spec_net, spec_reg = _run(FTHammer, speculate=True,
+                              executor=executor)
+    assert _digest(spec_net, spec_reg) == _digest(base_net, base_reg)
+    assert spec_net.executor_fallbacks == 0
+
+    spec = _spec(spec_reg)
+    assert spec["spec.conflicts"] > 0
+    assert spec["spec.aborts"] > 0
+    assert spec["spec.commits"] > 0
+
+
+@pytest.mark.parametrize("executor", ("serial", "thread", "process"))
+def test_disjoint_twin_commits_clean(executor):
+    base_net, base_reg = _run(FTDisjoint, speculate=False)
+    spec_net, spec_reg = _run(FTDisjoint, speculate=True,
+                              executor=executor)
+    assert _digest(spec_net, spec_reg) == _digest(base_net, base_reg)
+    assert spec_net.executor_fallbacks == 0
+
+    spec = _spec(spec_reg)
+    assert spec["spec.conflicts"] == 0
+    assert spec["spec.aborts"] == 0
+    assert spec["spec.batches"] > 0
+    assert spec["spec.commits"] > 0

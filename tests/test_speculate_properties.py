@@ -1,0 +1,156 @@
+"""Property battery for the speculative intra-shard scheduler.
+
+Hypothesis generates fungible-token transfer schedules and runs each
+one through two single-shard networks — speculation off (ground truth)
+and speculation on — asserting byte-identical state fingerprints and
+deterministic telemetry.  Targeted schedule shapes pin down the
+scheduler's contract:
+
+* arbitrary schedules converge to the serial result;
+* footprint-disjoint schedules commit without a single abort;
+* single-key contention aborts, retries, and still converges;
+* with the retry budget at zero, exhaustion degrades to strict serial
+  (fallback counter fires) and still converges;
+* after every lane the speculation journal is fully drained — no
+  leaked marks, no retained undo entries.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.network import Network
+from repro.chain.recovery import network_fingerprint
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.generators import FTTransfer
+from repro.scilla.values import addr, uint
+from repro.chain.transaction import call
+
+N_USERS = 8
+EXAMPLES = 20
+
+
+def _run_schedule(moves: list[tuple[int, int, int]], speculate: bool,
+                  spec_retries: int | None = None
+                  ) -> tuple[Network, MetricsRegistry]:
+    """Deploy the FT contract, then run one epoch of ``moves``
+    (sender index, recipient index, amount) on a single-shard net."""
+    registry = MetricsRegistry()
+    net = Network(1, use_signatures=True, executor="serial",
+                  metrics=registry, speculate=speculate)
+    if spec_retries is not None:
+        net.spec_retries = spec_retries
+    workload = FTTransfer(n_users=N_USERS, txns_per_epoch=0, seed=3)
+    workload.setup(net)
+    users = workload.users
+    txns = []
+    for s, t, amount in moves:
+        if t == s:
+            t = (s + 1) % N_USERS
+        txns.append(call(users[s], workload.contract_addr, "Transfer",
+                         {"to": addr(users[t]), "amount": uint(amount)},
+                         nonce=workload.next_nonce(users[s])))
+    net.process_epoch(txns)
+    return net, registry
+
+
+def _digest(net: Network, registry: MetricsRegistry) -> tuple:
+    return (network_fingerprint(net),
+            json.dumps(registry.deterministic_snapshot(),
+                       sort_keys=True))
+
+
+def _spec(registry: MetricsRegistry) -> dict[str, int]:
+    counters = registry.snapshot()["counters"]
+    return {name: payload["value"] for name, payload in counters.items()
+            if name.startswith("spec.")}
+
+
+def _assert_journal_drained(net: Network) -> None:
+    journal = net._spec_last_journal
+    assert journal is not None
+    assert journal.depth == 0
+    assert journal._marks == []
+
+
+# -- arbitrary schedules ------------------------------------------------------
+
+_any_moves = st.lists(
+    st.tuples(st.integers(0, N_USERS - 1), st.integers(0, N_USERS - 1),
+              st.integers(1, 50)),
+    min_size=2, max_size=12)
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(moves=_any_moves)
+def test_any_schedule_converges_to_serial(moves):
+    base_net, base_reg = _run_schedule(moves, speculate=False)
+    spec_net, spec_reg = _run_schedule(moves, speculate=True)
+    assert _digest(spec_net, spec_reg) == _digest(base_net, base_reg)
+    _assert_journal_drained(spec_net)
+
+
+# -- footprint-disjoint schedules ---------------------------------------------
+
+_disjoint_moves = st.integers(2, N_USERS // 2).flatmap(
+    lambda k: st.tuples(
+        st.just(k),
+        st.lists(st.integers(1, 50), min_size=k, max_size=k)))
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(shape=_disjoint_moves)
+def test_disjoint_schedule_commits_without_aborts(shape):
+    k, amounts = shape
+    # Sender i pays recipient k+i: locksets are pairwise disjoint.
+    moves = [(i, k + i, amounts[i]) for i in range(k)]
+    base_net, base_reg = _run_schedule(moves, speculate=False)
+    spec_net, spec_reg = _run_schedule(moves, speculate=True)
+    assert _digest(spec_net, spec_reg) == _digest(base_net, base_reg)
+    spec = _spec(spec_reg)
+    assert spec["spec.aborts"] == 0
+    assert spec["spec.conflicts"] == 0
+    assert spec["spec.commits"] >= k
+    _assert_journal_drained(spec_net)
+
+
+# -- single-key contention ----------------------------------------------------
+
+_contended_senders = st.integers(2, N_USERS - 2).flatmap(
+    lambda k: st.tuples(
+        st.just(k),
+        st.lists(st.integers(1, 50), min_size=k, max_size=k)))
+
+HOT = N_USERS - 1   # never a sender below, so windows stay wide
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(shape=_contended_senders)
+def test_contended_schedule_aborts_then_converges(shape):
+    k, amounts = shape
+    # k distinct senders all crediting the same hot account: every
+    # window conflicts on balances[hot] after its first commit.
+    moves = [(i, HOT, amounts[i]) for i in range(k)]
+    base_net, base_reg = _run_schedule(moves, speculate=False)
+    spec_net, spec_reg = _run_schedule(moves, speculate=True)
+    assert _digest(spec_net, spec_reg) == _digest(base_net, base_reg)
+    spec = _spec(spec_reg)
+    assert spec["spec.conflicts"] >= 1
+    assert spec["spec.aborts"] >= 1
+    _assert_journal_drained(spec_net)
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(shape=_contended_senders)
+def test_retry_exhaustion_degrades_to_strict_serial(shape):
+    k, amounts = shape
+    moves = [(i, HOT, amounts[i]) for i in range(k)]
+    base_net, base_reg = _run_schedule(moves, speculate=False)
+    spec_net, spec_reg = _run_schedule(moves, speculate=True,
+                                       spec_retries=0)
+    assert _digest(spec_net, spec_reg) == _digest(base_net, base_reg)
+    spec = _spec(spec_reg)
+    assert spec["spec.serial_fallbacks"] >= 1
+    _assert_journal_drained(spec_net)

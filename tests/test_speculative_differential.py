@@ -1,0 +1,127 @@
+"""Acceptance oracle for the speculative intra-shard scheduler: every
+Fig. 14 workload, run with speculation enabled, must end byte-identical
+to the fault-free serial non-speculative run — state fingerprints *and*
+the deterministic telemetry snapshot — across the serial, thread and
+process executors.
+
+The faulted leg re-runs the battery under an injected hung worker and
+an injected killed worker: speculation composes with the supervision
+ladder (reap, rebuild, rescue) and still converges to the same bytes.
+Vacuity guards assert speculation really engaged (batches formed,
+commits landed) so a silently-disabled scheduler cannot pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chain.faults import FaultEvent, FaultKind, FaultPlan
+from repro.chain.network import Network
+from repro.chain.recovery import network_fingerprint
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.generators import ALL_WORKLOADS
+
+N_SHARDS = 4
+EPOCHS = 4
+DEADLINE_S = 0.5
+
+# Mid-run faults: by epoch 2 the resident replicas are installed and
+# speculation has already committed rounds, so recovery must reconcile
+# a live speculative lane, not a fresh one.
+WORKER_FAULT_PLAN = [FaultEvent(2, FaultKind.HANG_WORKER, 1),
+                     FaultEvent(3, FaultKind.KILL_WORKER, 0)]
+
+# Every transaction in these workloads comes from the single admin
+# account; a speculative window needs pairwise-distinct senders, so the
+# scheduler (correctly) never forms a batch and falls through to the
+# serial path transaction by transaction.
+SINGLE_SENDER = frozenset({"FTFund", "NFTMint", "UDBestow"})
+
+_serial_cache: dict[str, tuple[dict[str, str], str]] = {}
+
+
+def _run(workload_cls, executor: str, plan: FaultPlan | None,
+         registry: MetricsRegistry, speculate: bool) -> Network:
+    net = Network(N_SHARDS, use_signatures=True, fault_plan=plan,
+                  executor=executor, lane_deadline_s=DEADLINE_S,
+                  metrics=registry, resident=(executor != "serial"),
+                  speculate=speculate)
+    workload = workload_cls(n_users=16, txns_per_epoch=24, seed=11)
+    workload.setup(net)
+    for epoch in range(EPOCHS):
+        net.process_epoch(workload.transactions(epoch))
+    return net
+
+
+def _serial_baseline(workload_cls) -> tuple[dict[str, str], str]:
+    """Fault-free, non-speculative serial run: the ground truth."""
+    key = workload_cls.__name__
+    if key not in _serial_cache:
+        registry = MetricsRegistry()
+        net = _run(workload_cls, "serial", None, registry,
+                   speculate=False)
+        _serial_cache[key] = (
+            network_fingerprint(net),
+            json.dumps(registry.deterministic_snapshot(),
+                       sort_keys=True),
+        )
+    return _serial_cache[key]
+
+
+def _spec_counters(registry: MetricsRegistry) -> dict[str, int]:
+    counters = registry.snapshot()["counters"]
+    return {name: payload["value"] for name, payload in counters.items()
+            if name.startswith("spec.")}
+
+
+def _assert_speculation_engaged(registry: MetricsRegistry,
+                                workload_cls) -> None:
+    spec = _spec_counters(registry)
+    if workload_cls.__name__ in SINGLE_SENDER:
+        assert spec["spec.batches"] == 0
+        return
+    assert spec["spec.batches"] > 0
+    assert spec["spec.attempts"] > 0
+    assert spec["spec.commits"] > 0
+
+
+@pytest.mark.parametrize("executor", ("serial", "thread", "process"))
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS,
+                         ids=[c.__name__ for c in ALL_WORKLOADS])
+def test_speculative_matches_serial(workload_cls, executor):
+    registry = MetricsRegistry()
+    net = _run(workload_cls, executor, None, registry, speculate=True)
+
+    fingerprint, telemetry = _serial_baseline(workload_cls)
+    assert network_fingerprint(net) == fingerprint
+    assert json.dumps(registry.deterministic_snapshot(),
+                      sort_keys=True) == telemetry
+    assert net.executor_fallbacks == 0
+
+    _assert_speculation_engaged(registry, workload_cls)
+
+
+@pytest.mark.parametrize("executor", ("thread", "process"))
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS,
+                         ids=[c.__name__ for c in ALL_WORKLOADS])
+def test_speculative_survives_worker_faults(workload_cls, executor):
+    registry = MetricsRegistry()
+    plan = FaultPlan(list(WORKER_FAULT_PLAN))
+    net = _run(workload_cls, executor, plan, registry, speculate=True)
+
+    fingerprint, telemetry = _serial_baseline(workload_cls)
+    assert network_fingerprint(net) == fingerprint
+    assert json.dumps(registry.deterministic_snapshot(),
+                      sort_keys=True) == telemetry
+    assert net.executor_fallbacks == 0
+
+    counters = registry.snapshot()["counters"]
+    failures = sum(v["value"] for k, v in counters.items()
+                   if k.startswith("supervise.failures."))
+    assert failures >= 2
+    if executor == "process":
+        assert counters["supervise.pool_rebuilds"]["value"] >= 1
+
+    _assert_speculation_engaged(registry, workload_cls)
