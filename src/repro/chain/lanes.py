@@ -322,6 +322,12 @@ def _sliced_state(state: ContractState,
             entries += len(value.entries)
             continue
         sub = MapVal(value.key_type, value.value_type)
+        prefetch = getattr(value.entries, "prefetch", None)
+        if prefetch is not None:
+            # Paged field: batch-fault the lane's whole footprint in
+            # one backend round-trip before the per-key lookups below
+            # (the slicing plan doubles as the prefetch oracle).
+            prefetch(keys)
         for k in keys:
             v = value.entries.get(k)
             if v is not None:
@@ -493,9 +499,14 @@ def instantiate_lane_network(task: LaneTask, registry=None):
     """
     from .network import DeployedContract, Network
 
+    # state_backend="none": lane payload states are already private
+    # slices/forks of the coordinator's (possibly paged) state; the
+    # private network must never resolve REPRO_STATE_BACKEND and spin
+    # up its own page store per lane.
     net = Network(task.n_shards, use_signatures=task.use_signatures,
                   overflow_guard=task.overflow_guard, executor="serial",
-                  metrics=registry, speculate=task.speculate)
+                  metrics=registry, speculate=task.speculate,
+                  state_backend="none")
     net.spec_batch, net.spec_retries, net.spec_workers = task.spec_knobs
     net.epoch = task.epoch
     for addr, payload in task.contracts.items():

@@ -30,9 +30,10 @@ from ..obs.tracing import NULL_TRACER
 from ..core.signature import ShardingSignature
 from ..scilla.ast import Module
 from ..scilla.interpreter import Interpreter, TxContext
+from ..scilla.backend import PagedDict, resolve_backend
 from ..scilla.state import ContractState, StateJournal, StateKey
 from ..scilla import values as scilla_values
-from ..scilla.values import Value
+from ..scilla.values import MapVal, Value
 from ..scilla import types as ty
 from .blocks import FinalBlock, MicroBlock, Receipt
 from .consensus import DEFAULT_COST_MODEL, CostModel
@@ -303,6 +304,26 @@ class _NetworkMeters:
             deterministic=False)
         self.spec_rollback_ns = m.histogram(
             "spec.rollback_ns", NS_BUCKETS, deterministic=False)
+        # Out-of-core state backend (repro.scilla.backend): fault,
+        # eviction and writeback counts follow cache-residency history
+        # (executor scheduling, payload shapes, prior epochs), and the
+        # ns totals follow the disk — all non-deterministic by design,
+        # so the deterministic-telemetry differential contract is
+        # untouched by paging (docs/STATE.md).
+        self.backend_faults = m.counter("state.backend.faults",
+                                        deterministic=False)
+        self.backend_evictions = m.counter("state.backend.evictions",
+                                           deterministic=False)
+        self.backend_writebacks = m.counter("state.backend.writebacks",
+                                            deterministic=False)
+        self.backend_prefetch_requested = m.counter(
+            "state.backend.prefetch.requested", deterministic=False)
+        self.backend_prefetch_hits = m.counter(
+            "state.backend.prefetch.hits", deterministic=False)
+        self.backend_read_ns = m.counter("state.backend.page_read_ns",
+                                         deterministic=False)
+        self.backend_write_ns = m.counter("state.backend.page_write_ns",
+                                          deterministic=False)
 
 
 @dataclass
@@ -345,6 +366,7 @@ class Network:
                  resident: bool | None = None,
                  pipeline: bool | None = None,
                  speculate: bool | None = None,
+                 state_backend=None,
                  clock=None,
                  metrics=None,
                  tracer=None):
@@ -512,6 +534,18 @@ class Network:
             self.wal = wal
             self.store = store
             self._wal_append("init", self._config_obj(), barrier=True)
+        # Out-of-core state (repro.scilla.backend): page cold map
+        # entries to a pluggable row store, faulting them back on
+        # demand.  Like the executor strategy a pure runtime choice —
+        # results are byte-identical with or without a backend (the
+        # slicing/resident/speculative differentials are the oracle) —
+        # defaulting off, opt-in via REPRO_STATE_BACKEND.  Created
+        # after the durability attach so a WALError on a reused
+        # data_dir never clobbers an existing backend file.
+        self.state_backend = resolve_backend(state_backend, data_dir)
+        self._backend_stats_seen = (
+            self.state_backend.stats.snapshot()
+            if self.state_backend is not None else None)
 
     # -- setup ----------------------------------------------------------------
 
@@ -604,6 +638,7 @@ class Network:
             signature = result.signature(tuple(sorted(sharded_transitions)),
                                          weak_reads, allow_commutativity)
         state.journal = self.journal
+        self._adopt_state(state)
         footprints = None
         if signature is not None:
             from .lanes import transition_footprints
@@ -618,6 +653,49 @@ class Network:
         self.dispatcher.register_contract(DeployedSignature(
             address, signature, dict(state.immutables)))
         return deployed
+
+    # -- out-of-core state (repro.scilla.backend) -------------------------------
+
+    def _adopt_state(self, state: ContractState) -> None:
+        """Move a freshly built (never-forked) state's top-level map
+        fields into the paged backend.  No-op without a backend; maps
+        that already page, or that are CoW-shared, are left alone."""
+        backend = self.state_backend
+        if backend is None:
+            return
+        for value in state.fields.values():
+            if (isinstance(value, MapVal) and not value._cow
+                    and isinstance(value.entries, dict)):
+                value.entries = PagedDict.adopt(backend, value.entries)
+
+    def _flush_backend(self) -> None:
+        """Write dirty overlay rows back and trim resident sets.
+
+        Called only at epoch commit with an empty journal: with no
+        retained undo entry referencing any paged state, no rollback
+        can cross the writeback, so overlay and backend can never
+        disagree about what a restore should produce."""
+        for contract in self.contracts.values():
+            for value in contract.state.fields.values():
+                entries = getattr(value, "entries", None)
+                if isinstance(entries, PagedDict):
+                    entries.flush()
+
+    def _drain_backend_stats(self) -> None:
+        backend = self.state_backend
+        if backend is None:
+            return
+        now = backend.stats.snapshot()
+        seen = self._backend_stats_seen
+        m = self._meters
+        m.backend_faults.inc(now[0] - seen[0])
+        m.backend_evictions.inc(now[1] - seen[1])
+        m.backend_writebacks.inc(now[2] - seen[2])
+        m.backend_prefetch_requested.inc(now[3] - seen[3])
+        m.backend_prefetch_hits.inc(now[4] - seen[4])
+        m.backend_read_ns.inc(now[5] - seen[5])
+        m.backend_write_ns.inc(now[6] - seen[6])
+        self._backend_stats_seen = now
 
     # -- durability (WAL + snapshots + resume) -----------------------------------
 
@@ -661,7 +739,16 @@ class Network:
             self.wal.barrier()
             self._commit_barrier_pending = False
         from .store import snapshot_network
-        obj = snapshot_network(self, wal_seq=self.wal.last_seq)
+        backend_obj = None
+        if self.state_backend is not None and self.state_backend.external:
+            # Sidecar first: the snapshot JSON names the sidecar file
+            # and pins its digest, so a torn sidecar write can never be
+            # adopted (resume verifies before trusting any row).
+            backend_obj = self.store.save_backend(
+                self.state_backend, epoch=self.epoch,
+                wal_seq=self.wal.last_seq)
+        obj = snapshot_network(self, wal_seq=self.wal.last_seq,
+                               backend_obj=backend_obj)
         self.store.save(obj)
         self.wal.rotate()
         self.wal.compact(keep_from_seq=obj["wal_seq"] + 1)
@@ -698,8 +785,10 @@ class Network:
     @classmethod
     def _from_config(cls, config, executor: str | None = None,
                      lane_workers: int | None = None,
+                     state_backend=None,
                      metrics=None, tracer=None) -> "Network":
         return cls(
+            state_backend=state_backend,
             n_shards=config["n_shards"],
             shard_size=config["shard_size"],
             ds_size=config["ds_size"],
@@ -741,9 +830,16 @@ class Network:
         try:
             store = SnapshotStore(data_dir, keep=keep_snapshots)
             snap = store.load_newest()
+            # The live backend file is never trusted across a crash
+            # (its pragmas skip fsync): restore_backend rebuilds it
+            # from the snapshot's digest-verified sidecar, or fresh
+            # when the snapshot predates (or never had) a backend —
+            # replay then repopulates the rows deterministically.
+            backend = store.restore_backend(snap, data_dir)
             if snap is not None:
                 net = network_from_snapshot(snap, executor=executor,
                                             lane_workers=lane_workers,
+                                            state_backend=backend,
                                             metrics=metrics,
                                             tracer=tracer)
                 start_seq = snap["wal_seq"]
@@ -755,6 +851,7 @@ class Network:
                 net = cls._from_config(wal.recovered[0].data,
                                        executor=executor,
                                        lane_workers=lane_workers,
+                                       state_backend=backend,
                                        metrics=metrics,
                                        tracer=tracer)
                 start_seq = wal.recovered[0].seq
@@ -992,6 +1089,14 @@ class Network:
         cow_now = scilla_values.COW_COPIES
         meters.cow_copies.inc(cow_now - self._cow_copies_seen)
         self._cow_copies_seen = cow_now
+        # Epoch commit is the writeback point for paged state — but
+        # only when the journal retains nothing (an outstanding caller
+        # checkpoint could still roll contract states back past this
+        # epoch, and a writeback must never race such a restore; dirty
+        # rows simply stay resident until a safe commit).
+        if self.state_backend is not None and self.journal.depth == 0:
+            self._flush_backend()
+        self._drain_backend_stats()
 
         stats.offered = len(txns)
         stats.carried_in = carried_in

@@ -519,6 +519,19 @@ class ResidentTracker:
             if contract is None:
                 continue
             state = contract.state
+            # Paged fields: batch-fault the epoch's touched first keys
+            # per field in one backend round-trip instead of one fault
+            # per state.read below.
+            by_field: dict[str, list] = {}
+            for name, sub in keys:
+                if sub:
+                    by_field.setdefault(name, []).append(sub[0])
+            for name, first_keys in by_field.items():
+                field = state.fields.get(name)
+                prefetch = getattr(
+                    getattr(field, "entries", None), "prefetch", None)
+                if prefetch is not None:
+                    prefetch(first_keys)
             for key in keys:
                 value = state.read(key)
                 if isinstance(value, MapVal):

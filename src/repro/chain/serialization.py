@@ -167,13 +167,64 @@ def transaction_from_json(text: str) -> Transaction:
 # Contract states (the payload of durable snapshots).
 # --------------------------------------------------------------------------
 
-def state_to_obj(state: ContractState) -> Any:
-    """JSON-able form of a full contract state (snapshot format)."""
+def _paged_map_to_json(v: MapVal) -> Any:
+    """Compact snapshot form of a paged map: a reference to its rows
+    in the backend sidecar plus only the *unflushed* resident part
+    (dirty overlay entries and tombstones).  Snapshotting therefore
+    never forces a writeback — the sidecar carries the rows as of the
+    last flush, and this record carries everything newer.
+    """
+    paged = v.entries
+    return {
+        "t": "PagedMap", "kt": str(v.key_type), "vt": str(v.value_type),
+        "map_id": paged.map_id, "count": len(paged),
+        "dirty": sorted(
+            ([value_to_json(k), value_to_json(paged._local[k])]
+             for k in paged._dirty),
+            key=lambda kv: json.dumps(kv[0], sort_keys=True)),
+        "deleted": sorted(
+            (value_to_json(k) for k in paged._deleted),
+            key=lambda k: json.dumps(k, sort_keys=True)),
+    }
+
+
+def _paged_map_from_json(data: Any, backend) -> MapVal:
+    from ..scilla.backend import PagedDict
+    from ..scilla.parser import parse_type_str
+    if backend is None:
+        raise EvalError(
+            "snapshot contains PagedMap references but no state "
+            "backend was restored to resolve them")
+    backend.reserve(data["map_id"])
+    paged = PagedDict(backend, data["map_id"], count=data["count"])
+    for k, v in data["dirty"]:
+        key = value_from_json(k)
+        paged._local[key] = value_from_json(v)
+        paged._dirty.add(key)
+    for k in data["deleted"]:
+        paged._deleted.add(value_from_json(k))
+    return MapVal(parse_type_str(data["kt"]),
+                  parse_type_str(data["vt"]), paged)
+
+
+def state_to_obj(state: ContractState, backend=None) -> Any:
+    """JSON-able form of a full contract state (snapshot format).
+
+    With ``backend``, top-level map fields paged through *that*
+    backend serialise as compact ``PagedMap`` references against its
+    sidecar copy instead of inlining every entry.
+    """
+    fields = {}
+    for name, value in state.fields.items():
+        if (backend is not None and isinstance(value, MapVal)
+                and getattr(value.entries, "backend", None) is backend):
+            fields[name] = _paged_map_to_json(value)
+        else:
+            fields[name] = value_to_json(value)
     return {
         "address": state.address,
         "balance": state.balance,
-        "fields": {name: value_to_json(value)
-                   for name, value in state.fields.items()},
+        "fields": fields,
         "field_types": {name: str(typ)
                         for name, typ in state.field_types.items()},
         "immutables": {name: value_to_json(value)
@@ -181,12 +232,17 @@ def state_to_obj(state: ContractState) -> Any:
     }
 
 
-def state_from_obj(data: Any) -> ContractState:
+def state_from_obj(data: Any, backend=None) -> ContractState:
     from ..scilla.parser import parse_type_str
+    fields = {}
+    for name, v in data["fields"].items():
+        if isinstance(v, dict) and v.get("t") == "PagedMap":
+            fields[name] = _paged_map_from_json(v, backend)
+        else:
+            fields[name] = value_from_json(v)
     return ContractState(
         address=data["address"],
-        fields={name: value_from_json(v)
-                for name, v in data["fields"].items()},
+        fields=fields,
         field_types={name: parse_type_str(s)
                      for name, s in data["field_types"].items()},
         immutables={name: value_from_json(v)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 from pathlib import Path
 from typing import Any
 
@@ -40,6 +41,9 @@ from .serialization import (
 SNAPSHOT_VERSION = 1
 SNAPSHOT_PREFIX = "snap-"
 SNAPSHOT_SUFFIX = ".json"
+BACKEND_PREFIX = "state-"
+BACKEND_SUFFIX = ".sqlite"
+BACKEND_LIVE_NAME = "state.sqlite"
 
 
 class SnapshotError(Exception):
@@ -60,8 +64,18 @@ class StoreError(SnapshotError):
 # Network <-> snapshot object.
 # --------------------------------------------------------------------------
 
-def snapshot_network(net, wal_seq: int) -> Any:
-    """Capture the network's full mutable state as a JSON-able object."""
+def snapshot_network(net, wal_seq: int, backend_obj: Any = None) -> Any:
+    """Capture the network's full mutable state as a JSON-able object.
+
+    ``backend_obj`` is the descriptor returned by
+    :meth:`SnapshotStore.save_backend` when the network pages state
+    through an external backend: contract map fields then serialise as
+    compact ``PagedMap`` references (dirty overlay + tombstones only)
+    against the sidecar the descriptor pins by digest, instead of
+    inlining every entry.
+    """
+    paged_backend = (net.state_backend
+                     if backend_obj is not None else None)
     obj: dict[str, Any] = {
         "version": SNAPSHOT_VERSION,
         "epoch": net.epoch,
@@ -70,7 +84,7 @@ def snapshot_network(net, wal_seq: int) -> Any:
         "contracts": {
             addr: {
                 "source": c.source,
-                "state": state_to_obj(c.state),
+                "state": state_to_obj(c.state, backend=paged_backend),
                 "signature": (signature_to_obj(c.signature)
                               if c.signature is not None else None),
             }
@@ -117,17 +131,25 @@ def snapshot_network(net, wal_seq: int) -> Any:
         # with the snapshot (WAL compaction may drop their svc-admit
         # records), in global drain order.
         obj["mempool"] = net.mempool.to_obj()
+    if backend_obj is not None:
+        obj["backend"] = backend_obj
     return obj
 
 
 def network_from_snapshot(obj: Any, executor: str | None = None,
                           lane_workers: int | None = None,
-                          metrics=None, tracer=None):
+                          metrics=None, tracer=None,
+                          state_backend=None):
     """Rebuild a live (non-durable) Network from a snapshot object.
 
     Contract runtimes are rebuilt from source through the cached
     deployment pipeline; everything else is restored verbatim.  The
     caller (``Network.resume``) attaches durability afterwards.
+
+    ``state_backend`` is the page store the snapshot's ``PagedMap``
+    references resolve against (a restored sidecar); snapshots that
+    inline every map entry ignore it except to re-adopt the restored
+    fields into paged form.
     """
     from ..core.pipeline import run_pipeline_cached
     from ..scilla.interpreter import Interpreter
@@ -139,15 +161,18 @@ def network_from_snapshot(obj: Any, executor: str | None = None,
             f"unsupported snapshot version {obj.get('version')!r}")
     net = Network._from_config(obj["config"], executor=executor,
                                lane_workers=lane_workers,
-                               metrics=metrics, tracer=tracer)
+                               metrics=metrics, tracer=tracer,
+                               state_backend=state_backend)
     net.epoch = obj["epoch"]
     if net.metrics.enabled and obj.get("metrics") is not None:
         net.metrics.reset_to(obj["metrics"])
     from .lanes import transition_footprints
     for addr, payload in obj["contracts"].items():
         result = run_pipeline_cached(payload["source"], addr)
-        state = state_from_obj(payload["state"])
+        state = state_from_obj(payload["state"],
+                               backend=net.state_backend)
         state.journal = net.journal
+        net._adopt_state(state)
         signature = (signature_from_obj(payload["signature"])
                      if payload["signature"] is not None else None)
         footprints = (transition_footprints(result.summaries)
@@ -225,6 +250,89 @@ class SnapshotStore:
                       if p.name.startswith(SNAPSHOT_PREFIX)
                       and p.name.endswith(SNAPSHOT_SUFFIX))
 
+    def _backend_path(self, epoch: int, wal_seq: int) -> Path:
+        return self.dir / (f"{BACKEND_PREFIX}{epoch:010d}-"
+                           f"{wal_seq:010d}{BACKEND_SUFFIX}")
+
+    def backend_paths(self) -> list[Path]:
+        """Backend sidecar files, oldest first (the live page store —
+        ``state.sqlite`` — is not a sidecar and is excluded)."""
+        return sorted(p for p in self.dir.iterdir()
+                      if p.name.startswith(BACKEND_PREFIX)
+                      and p.name.endswith(BACKEND_SUFFIX))
+
+    def save_backend(self, backend, epoch: int, wal_seq: int) -> dict:
+        """Persist a consistent copy of the external page store as a
+        snapshot sidecar, returning the descriptor the snapshot JSON
+        embeds (``{"kind", "file", "digest"}``).
+
+        Written *before* the snapshot JSON: the JSON pins the sidecar's
+        logical digest, so a crash between the two leaves an orphan
+        sidecar (harmless, reclaimed by :meth:`compact`) rather than a
+        snapshot pointing at a missing or torn file.
+        """
+        target = self._backend_path(epoch, wal_seq)
+        try:
+            digest = backend.save_copy(str(target))
+        except OSError as exc:
+            raise StoreError(
+                f"backend sidecar write failed for {target.name}: "
+                f"{type(exc).__name__}: {exc}") from exc
+        return {"kind": backend.kind, "file": target.name,
+                "digest": digest}
+
+    def restore_backend(self, snap: Any | None, data_dir: str):
+        """Rebuild the page-store backend a snapshot was taken against.
+
+        With a ``backend`` section the referenced sidecar is digest-
+        verified and copied over the live page store; a missing,
+        unreadable, or digest-mismatched sidecar is a hard
+        :class:`StoreError` — never a silent fall-back to an empty
+        store, which would resume with silently truncated state.
+        Without a section, the ``REPRO_STATE_BACKEND`` environment
+        knob decides (possibly no backend at all, returning ``None``).
+        """
+        from ..scilla.backend import SqliteBackend, resolve_backend
+        info = (snap or {}).get("backend")
+        if info is None:
+            return resolve_backend(None, data_dir)
+        if info.get("kind") != "sqlite":
+            raise StoreError(
+                f"snapshot pins unsupported backend kind "
+                f"{info.get('kind')!r}")
+        sidecar = self.dir / info["file"]
+        if not sidecar.is_file():
+            raise StoreError(
+                f"snapshot references missing backend sidecar "
+                f"{info['file']}")
+        try:
+            digest = SqliteBackend.digest_path(str(sidecar))
+        except ValueError as exc:
+            raise StoreError(
+                f"backend sidecar {info['file']} is unreadable: "
+                f"{exc}") from exc
+        if digest != info["digest"]:
+            raise StoreError(
+                f"backend sidecar {info['file']} digest mismatch "
+                f"(have {digest[:12]}, snapshot pins "
+                f"{info['digest'][:12]}): refusing torn/stale pages")
+        live = os.path.join(data_dir, BACKEND_LIVE_NAME)
+        # The live file is scratch (rebuilt here); drop any sqlite
+        # journal remnants from the crashed run alongside it.
+        for leftover in (live, live + "-journal", live + "-wal",
+                         live + "-shm"):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+        try:
+            shutil.copyfile(sidecar, live)
+        except OSError as exc:
+            raise StoreError(
+                f"restoring backend sidecar {info['file']} failed: "
+                f"{type(exc).__name__}: {exc}") from exc
+        return SqliteBackend(live)
+
     def save(self, obj: Any) -> Path:
         """Atomically persist one snapshot object (write-temp, fsync,
         rename, fsync directory).  An ``OSError`` anywhere in the
@@ -272,11 +380,23 @@ class SnapshotStore:
         return None
 
     def compact(self) -> list[str]:
-        """Drop all but the newest ``keep`` snapshots; returns the
-        deleted file names."""
+        """Drop all but the newest ``keep`` snapshots, plus any
+        backend sidecars whose paired snapshot is gone (same
+        ``epoch-walseq`` stem); returns the deleted file names."""
         paths = self.paths()
         deleted = []
         for path in paths[:-self.keep] if len(paths) > self.keep else []:
             path.unlink()
             deleted.append(path.name)
+        kept_stems = {
+            p.name[len(SNAPSHOT_PREFIX):-len(SNAPSHOT_SUFFIX)]
+            for p in self.paths()}
+        for sidecar in self.backend_paths():
+            stem = sidecar.name[len(BACKEND_PREFIX):-len(BACKEND_SUFFIX)]
+            if stem not in kept_stems:
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    continue
+                deleted.append(sidecar.name)
         return deleted

@@ -176,14 +176,33 @@ def cmd_bench(args) -> int:
         print(f"\nwrote {out}")
     elif target == "state":
         from .eval.state_bench import (
-            format_state_bench, run_state_bench, write_state_bench,
+            format_oocore_soak, format_paged_bench, format_state_bench,
+            run_oocore_soak, run_paged_bench, run_state_bench,
+            write_state_bench,
         )
         sizes = tuple(int(s) for s in args.sizes.split(","))
+        # The soak runs first: its peak-RSS claim reads ru_maxrss, a
+        # process-lifetime high-water mark the paged bench's resident
+        # baseline dict would otherwise inflate.
+        soak = None
+        if args.soak_entries:
+            soak = run_oocore_soak(entries=args.soak_entries)
         result = run_state_bench(sizes=sizes,
                                  repeat=args.repetitions)
         print(format_state_bench(result))
+        paged = None
+        if not args.no_paged:
+            paged_sizes = tuple(int(s) for s in
+                                args.paged_sizes.split(","))
+            paged = run_paged_bench(sizes=paged_sizes,
+                                    repeat=args.repetitions)
+            print()
+            print(format_paged_bench(paged))
+        if soak is not None:
+            print()
+            print(format_oocore_soak(soak))
         out = args.output or "BENCH_state.json"
-        write_state_bench(result, out)
+        write_state_bench(result, out, paged=paged, soak=soak)
         print(f"\nwrote {out}")
     elif target == "throughput":
         from .eval.throughput import (
@@ -291,6 +310,7 @@ def cmd_serve(args) -> int:
         batch_max=args.batch_max, flood_rate=args.flood_rate,
         stall_rate=args.stall_rate, fault_seed=args.fault_seed,
         executor=args.executor, data_dir=args.data_dir,
+        state_backend=args.state_backend,
         drain_ticks=args.drain_ticks)
     if args.stream is not None:
         handle = (sys.stdin if args.stream == "-"
@@ -410,6 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing repetitions for 'state'")
     p.add_argument("--sizes", default="1000,10000,100000",
                    help="comma-separated map sizes for 'state'")
+    p.add_argument("--paged-sizes", default="10000,100000,1000000",
+                   help="comma-separated map sizes for the "
+                        "paged-vs-resident section of 'state'")
+    p.add_argument("--no-paged", action="store_true",
+                   help="skip the paged-vs-resident section of 'state'")
+    p.add_argument("--soak-entries", type=int, default=0,
+                   help="run the out-of-core service soak at this many "
+                        "seeded entries (0 = skip)")
     p.add_argument("--output", default=None,
                    help="write the report to this file (with 'all' "
                         "or 'parallel')")
@@ -574,6 +602,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["serial", "thread", "process"])
     p.add_argument("--data-dir", default=None,
                    help="attach WAL-backed durability")
+    p.add_argument("--state-backend", default=None,
+                   choices=["none", "memory", "sqlite"],
+                   help="out-of-core page store for contract map "
+                        "state (default: REPRO_STATE_BACKEND env, "
+                        "else in-memory dicts)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
     p.set_defaults(func=cmd_serve)

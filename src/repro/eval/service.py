@@ -133,12 +133,22 @@ def run_service(workload: str = "FT transfer @scale", *,
                 drain_ticks: int = 64,
                 client_buffer: int | None = None,
                 snapshot_every: int = 8,
+                state_backend=None,
+                keep_blocks: int | None = None,
+                setup_hook=None,
                 stream=None) -> ServiceRun:
     """Run a bounded service-mode session and report on it.
 
     ``stream`` (an ``iter_stream`` result) replaces the generated
     offered load with a pre-recorded one; its header picks the
     workload used for contract setup.
+
+    ``state_backend`` selects the out-of-core page store for contract
+    map state (``"sqlite"``/``"memory"``/``"none"``, a
+    ``StateBackend`` instance, or None for the ``REPRO_STATE_BACKEND``
+    environment default); ``keep_blocks`` bounds the retained block
+    history (out-of-core soaks keep it small so the backend's bounded
+    memory is not undone by block receipts).
     """
     if cost_model is None:
         from .throughput import FIG14_COST_MODEL
@@ -166,8 +176,14 @@ def run_service(workload: str = "FT transfer @scale", *,
                   cost_model=cost_model, carry_backlog=False,
                   fault_plan=plan, executor=executor,
                   data_dir=data_dir, snapshot_every=snapshot_every,
+                  state_backend=state_backend,
                   metrics=metrics)
     wl.setup(net)
+    if setup_hook is not None:
+        # Out-of-core soaks pre-seed contract state (e.g. stream
+        # millions of balance rows straight into the page store)
+        # between workload setup and the first tick.
+        setup_hook(net, wl)
 
     capacity = capacity if capacity is not None else 8 * txns_per_tick
     pool_cfg = MempoolConfig(
@@ -178,7 +194,9 @@ def run_service(workload: str = "FT transfer @scale", *,
         batch_max=(batch_max if batch_max is not None
                    else max(ServiceConfig.batch_min, txns_per_tick)),
         max_deferrals=max_deferrals,
-        record_committed=record_committed)
+        record_committed=record_committed,
+        keep_blocks=(keep_blocks if keep_blocks is not None
+                     else ServiceConfig.keep_blocks))
     loop = ServiceLoop(net, config=svc_cfg, pool_config=pool_cfg)
 
     buffer_cap = (client_buffer if client_buffer is not None

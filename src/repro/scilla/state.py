@@ -167,7 +167,15 @@ class ContractState:
                 if not isinstance(typ, MapType) or not isinstance(typ.value, MapType):
                     raise ExecError(f"cannot create nested map in {name!r}")
                 current.entries[key] = MapVal(typ.value.key, typ.value.value)
-            current = current.entries[key]
+            child = current.entries[key]
+            if own:
+                # Paged parent: the nested map is about to be mutated in
+                # place, which its __setitem__ will never see — flag the
+                # row for writeback explicitly.
+                mark_dirty = getattr(current.entries, "mark_dirty", None)
+                if mark_dirty is not None:
+                    mark_dirty(key)
+            current = child
             typ = typ.value if isinstance(typ, MapType) else None
         if not isinstance(current, MapVal):
             raise ExecError(f"field {name!r} is not a map")

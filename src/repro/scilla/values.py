@@ -138,10 +138,18 @@ class MapVal(Value):
         if self._cow:
             global COW_COPIES
             COW_COPIES += 1
-            self.entries = {
-                k: (v.copy() if type(v) is MapVal else v)
-                for k, v in self.entries.items()
-            }
+            entries = self.entries
+            private_copy = getattr(entries, "private_copy", None)
+            if private_copy is not None:
+                # Paged map (repro.scilla.backend.PagedDict): copy the
+                # resident overlay only; both sides keep sharing the
+                # backend rows read-only.
+                self.entries = private_copy()
+            else:
+                self.entries = {
+                    k: (v.copy() if type(v) is MapVal else v)
+                    for k, v in entries.items()
+                }
             self._cow = False
 
     def put(self, key: Value, value: Value) -> None:
